@@ -1,0 +1,42 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation:
+it runs the corresponding scenario (at the scaled-down durations documented in
+EXPERIMENTS.md), prints the rows/series the paper reports, and asserts the
+qualitative shape (who wins, by roughly what factor).  pytest-benchmark is used
+with a single round per benchmark because each "iteration" is a full
+packet-level simulation, not a micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import pytest
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned results table (captured by pytest, shown with -s)."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}".ljust(width))
+            else:
+                cells.append(str(value).ljust(width))
+        print("  ".join(cells))
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    """Benchmarks always run in the scaled ('fast') configuration in CI."""
+    return True

@@ -1,0 +1,36 @@
+"""Satellite / lossy-link comparison (the §4.1.3 and §4.1.4 scenarios).
+
+Runs PCC against the specially-engineered TCP variants on two of the paper's
+headline environments and prints the comparison tables:
+
+* an emulated satellite link (42 Mbps, 800 ms RTT, 0.74% random loss);
+* a terrestrial link with increasing random loss (100 Mbps, 30 ms RTT).
+
+Run with:  python examples/lossy_satellite_link.py   (takes a couple of minutes)
+"""
+
+from repro.experiments import lossy_link_scenario, satellite_scenario
+
+
+def satellite_comparison() -> None:
+    print("=== Satellite link: 42 Mbps, 800 ms RTT, 0.74% loss, 75 KB buffer ===")
+    print(f"{'scheme':<10} {'goodput (Mbps)':>15}")
+    for scheme in ("pcc", "hybla", "illinois", "cubic"):
+        outcome = satellite_scenario(scheme, buffer_bytes=75_000.0, duration=60.0)
+        print(f"{scheme:<10} {outcome.goodput_mbps:>15.2f}")
+
+
+def random_loss_comparison() -> None:
+    print("\n=== Random loss on a 100 Mbps / 30 ms link ===")
+    print(f"{'loss rate':<10} {'pcc':>10} {'illinois':>10} {'cubic':>10}   (Mbps)")
+    for loss in (0.001, 0.01, 0.02):
+        row = []
+        for scheme in ("pcc", "illinois", "cubic"):
+            outcome = lossy_link_scenario(scheme, loss_rate=loss, duration=15.0)
+            row.append(outcome.goodput_mbps)
+        print(f"{loss:<10.3f} {row[0]:>10.1f} {row[1]:>10.1f} {row[2]:>10.1f}")
+
+
+if __name__ == "__main__":
+    satellite_comparison()
+    random_loss_comparison()

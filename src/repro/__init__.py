@@ -1,0 +1,26 @@
+"""Reproduction of "PCC: Re-architecting Congestion Control for Consistent
+High Performance" (Dong, Li, Zarchy, Godfrey, Schapira — NSDI 2015).
+
+Packages
+--------
+``repro.netsim``
+    Packet-level discrete-event network simulator (links, queues/AQMs, routes,
+    ack-clocked and rate-paced senders, workload generators).
+``repro.cc``
+    The baseline congestion controllers the paper compares against: the TCP
+    family (New Reno, CUBIC, Illinois, Hybla, Vegas, BIC, Westwood, paced
+    Reno, parallel bundles) and the rate-based SABUL/UDT and PCP.
+``repro.core``
+    PCC itself: monitor intervals, utility functions, and the learning
+    control algorithm (starting / decision with RCTs / rate adjusting).
+``repro.analysis``
+    The §2.2 game-theoretic fluid model (Theorems 1 and 2) plus measurement
+    analysis (Jain's index, convergence time, power, FCT statistics).
+``repro.experiments``
+    Scenario builders and the experiment runner used by the examples and by
+    the per-figure benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["netsim", "cc", "core", "analysis", "experiments", "__version__"]

@@ -1,0 +1,41 @@
+"""Game-theoretic model and measurement analysis for the PCC reproduction."""
+
+from .model import FluidModel
+from .equilibrium import (
+    EquilibriumResult,
+    best_response_iteration,
+    find_equilibrium,
+    symmetric_equilibrium_rate,
+)
+from .dynamics import DynamicsResult, simulate_dynamics, theorem2_band
+from .fairness import jain_index, jain_index_over_timescales, throughput_ratio
+from .metrics import (
+    convergence_time,
+    flow_completion_times,
+    mean_rate_from_series,
+    percentile,
+    power,
+    rate_std_dev,
+    tracking_error,
+)
+
+__all__ = [
+    "FluidModel",
+    "EquilibriumResult",
+    "best_response_iteration",
+    "find_equilibrium",
+    "symmetric_equilibrium_rate",
+    "DynamicsResult",
+    "simulate_dynamics",
+    "theorem2_band",
+    "jain_index",
+    "jain_index_over_timescales",
+    "throughput_ratio",
+    "convergence_time",
+    "flow_completion_times",
+    "mean_rate_from_series",
+    "percentile",
+    "power",
+    "rate_std_dev",
+    "tracking_error",
+]

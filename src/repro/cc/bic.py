@@ -1,0 +1,77 @@
+"""TCP BIC congestion control.
+
+BIC (Binary Increase Congestion control) is CUBIC's predecessor and one of the
+TCP variants placed in the Figure 16 stability/reactiveness trade-off space.
+After a loss it remembers the window at which the loss occurred (``w_max``) and
+performs a binary search between the reduced window and ``w_max``: large steps
+when far away (capped at ``s_max``), small steps when close, and "max probing"
+(slow-start-like growth) once above ``w_max``.
+"""
+
+from __future__ import annotations
+
+from .base import MIN_CWND, WindowController
+
+__all__ = ["BicController"]
+
+
+class BicController(WindowController):
+    """BIC-TCP window dynamics (binary search increase + max probing)."""
+
+    def __init__(
+        self,
+        initial_cwnd: float = 2.0,
+        initial_ssthresh: float = 1e9,
+        beta: float = 0.8,
+        s_max: float = 32.0,
+        s_min: float = 0.01,
+        low_window: float = 14.0,
+    ):
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.beta = beta
+        self.s_max = s_max
+        self.s_min = s_min
+        #: Below this window BIC behaves like Reno.
+        self.low_window = low_window
+        self.w_max = 0.0
+        self._max_probing_increment = 1.0
+
+    def _increase_per_rtt(self) -> float:
+        if self.cwnd < self.low_window:
+            return 1.0
+        if self.w_max <= 0:
+            return self.s_max
+        if self.cwnd < self.w_max:
+            distance = (self.w_max - self.cwnd) / 2.0
+            return min(max(distance, self.s_min), self.s_max)
+        # Max probing: accelerate away from w_max.
+        self._max_probing_increment = min(self._max_probing_increment * 1.5, self.s_max)
+        return self._max_probing_increment
+
+    def on_ack(self, rtt: float, now: float) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += self._increase_per_rtt() / self.cwnd
+        self._clamp()
+
+    def on_loss(self, now: float) -> None:
+        self._max_probing_increment = 1.0
+        if self.cwnd < self.w_max:
+            # Fast convergence: release bandwidth to newer flows.
+            self.w_max = self.cwnd * (2.0 - self.beta) / 2.0
+        else:
+            self.w_max = self.cwnd
+        if self.cwnd >= self.low_window:
+            self.cwnd = max(self.cwnd * self.beta, 2.0)
+        else:
+            self.cwnd = max(self.cwnd / 2.0, 2.0)
+        self.ssthresh = self.cwnd
+        self._clamp()
+
+    def on_timeout(self, now: float) -> None:
+        self._max_probing_increment = 1.0
+        self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = MIN_CWND

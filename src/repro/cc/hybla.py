@@ -1,0 +1,60 @@
+"""TCP Hybla congestion control.
+
+Hybla (Caini & Firrincieli 2004) targets long-RTT satellite paths: it scales
+the window-growth laws by ``rho = RTT / RTT0`` (with reference ``RTT0 = 25 ms``)
+so that a flow with an 800 ms RTT grows its window as fast, in wall-clock
+terms, as a 25 ms flow would.  Slow start adds ``2^rho - 1`` packets per ACK
+and congestion avoidance adds ``rho^2 / cwnd`` per ACK.
+
+The decrease side is untouched Reno: every loss still halves the window, which
+is why Figure 6 of the paper shows Hybla reaching only a few percent of a lossy
+satellite link's capacity.
+"""
+
+from __future__ import annotations
+
+from .base import MIN_CWND, WindowController
+
+__all__ = ["HyblaController"]
+
+
+class HyblaController(WindowController):
+    """TCP Hybla window dynamics with RTT-compensated growth."""
+
+    def __init__(
+        self,
+        initial_cwnd: float = 2.0,
+        initial_ssthresh: float = 1e9,
+        reference_rtt: float = 0.025,
+        max_rho: float = 64.0,
+    ):
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.reference_rtt = reference_rtt
+        self.max_rho = max_rho
+        self.rho = 1.0
+        self._min_rtt = float("inf")
+
+    def _update_rho(self, rtt: float) -> None:
+        self._min_rtt = min(self._min_rtt, rtt)
+        self.rho = max(1.0, min(self.max_rho, self._min_rtt / self.reference_rtt))
+
+    def on_ack(self, rtt: float, now: float) -> None:
+        self._update_rho(rtt)
+        if self.cwnd < self.ssthresh:
+            # 2^rho - 1 additional segments per ACK; clamp the exponent so the
+            # window cannot explode numerically on extreme RTTs.
+            increment = 2.0 ** min(self.rho, 16.0) - 1.0
+            self.cwnd += increment
+        else:
+            self.cwnd += self.rho * self.rho / self.cwnd
+        self._clamp()
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._clamp()
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = MIN_CWND

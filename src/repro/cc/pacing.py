@@ -1,0 +1,22 @@
+"""Paced TCP New Reno — the "TCP Pacing" baseline of Figure 9.
+
+The paper tests whether PCC's advantage on shallow-buffered links is merely an
+artifact of packet pacing by comparing against New Reno whose transmissions are
+spread at ``cwnd / RTT`` instead of being ack-clocked bursts.  The window
+dynamics are unchanged; pacing is a property of the sender, so this module
+simply provides a named controller class (for experiment configuration
+clarity) that the runner pairs with ``WindowedSender(pacing=True)``.
+"""
+
+from __future__ import annotations
+
+from .newreno import NewRenoController
+
+__all__ = ["PacedRenoController"]
+
+
+class PacedRenoController(NewRenoController):
+    """New Reno window dynamics, intended to be driven by a pacing sender."""
+
+    #: Marker consumed by the experiment runner to enable sender-side pacing.
+    requires_pacing = True

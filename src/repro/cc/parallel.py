@@ -1,0 +1,37 @@
+"""Parallel TCP bundles ("TCP-Selfish").
+
+Section 4.3.1 compares PCC's aggressiveness against the common selfish practice
+of opening many parallel TCP connections (download accelerators such as
+FlashGet open ~10).  In the simulator a "parallel TCP" flow is simply expanded
+into ``bundle_size`` independent :class:`~repro.cc.cubic.CubicController`-driven
+(or Reno-driven) sub-flows sharing the same path; their delivered bytes are
+summed when reporting the bundle's throughput.
+
+This module holds the expansion descriptor used by the experiment runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParallelTcpBundle", "DEFAULT_BUNDLE_SIZE"]
+
+#: Number of parallel connections a "selfish" sender opens (per §4.3.1).
+DEFAULT_BUNDLE_SIZE = 10
+
+
+@dataclass
+class ParallelTcpBundle:
+    """Describes a bundle of parallel TCP connections acting as one logical flow."""
+
+    #: Which window controller each sub-connection runs ("cubic" or "reno").
+    scheme: str = "cubic"
+    #: Number of parallel connections.
+    bundle_size: int = DEFAULT_BUNDLE_SIZE
+
+    def split_bytes(self, total_bytes: float | None) -> list[float | None]:
+        """Divide a finite transfer evenly across the bundle (None stays None)."""
+        if total_bytes is None:
+            return [None] * self.bundle_size
+        share = total_bytes / self.bundle_size
+        return [share] * self.bundle_size

@@ -1,0 +1,62 @@
+"""Experiment scenarios, the runner, and the figure/table registry."""
+
+from .runner import FlowResult, ScenarioResult, available_schemes, run_flows
+from .scenarios import (
+    ScenarioOutcome,
+    aqm_power_scenario,
+    convergence_scenario,
+    dynamic_network_scenario,
+    extreme_loss_scenario,
+    fairness_index_over_timescales,
+    friendliness_scenario,
+    lossy_link_scenario,
+    rtt_unfairness_scenario,
+    satellite_scenario,
+    shallow_buffer_scenario,
+    short_flow_scenario,
+    tradeoff_scenario,
+)
+from .internet import (
+    InternetPathConfig,
+    improvement_ratios,
+    ratio_cdf,
+    run_path,
+    sample_paths,
+)
+from .interdc import PAPER_PAIRS, InterDCPair, run_pair, run_table
+from .incast import run_incast
+from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
+
+__all__ = [
+    "FlowResult",
+    "ScenarioResult",
+    "available_schemes",
+    "run_flows",
+    "ScenarioOutcome",
+    "aqm_power_scenario",
+    "convergence_scenario",
+    "dynamic_network_scenario",
+    "extreme_loss_scenario",
+    "fairness_index_over_timescales",
+    "friendliness_scenario",
+    "lossy_link_scenario",
+    "rtt_unfairness_scenario",
+    "satellite_scenario",
+    "shallow_buffer_scenario",
+    "short_flow_scenario",
+    "tradeoff_scenario",
+    "InternetPathConfig",
+    "improvement_ratios",
+    "ratio_cdf",
+    "run_path",
+    "sample_paths",
+    "PAPER_PAIRS",
+    "InterDCPair",
+    "run_pair",
+    "run_table",
+    "run_incast",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+]

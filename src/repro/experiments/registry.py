@@ -1,0 +1,137 @@
+"""Experiment index: every table/figure of the paper mapped to code.
+
+The registry is both documentation (DESIGN.md's per-experiment index in
+machine-readable form) and a convenience for discovering which benchmark file
+regenerates which result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table or figure from the paper's evaluation."""
+
+    experiment_id: str
+    title: str
+    paper_section: str
+    scenario: str          # module.function implementing the workload
+    bench: str             # benchmark file that regenerates it
+    schemes: tuple
+    notes: str = ""
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in [
+        Experiment(
+            "fig4_5", "Wild-Internet throughput improvement CDF", "4.1.1",
+            "repro.experiments.internet", "benchmarks/bench_fig05_internet.py",
+            ("pcc", "cubic", "sabul", "pcp"),
+            "510 PlanetLab/GENI pairs replaced by a synthetic wide-area path sampler",
+        ),
+        Experiment(
+            "table1", "Inter-data-center reserved-bandwidth transfers", "4.1.2",
+            "repro.experiments.interdc", "benchmarks/bench_table1_interdc.py",
+            ("pcc", "sabul", "cubic", "illinois"),
+            "800 Mbps reservations scaled to 200 Mbps; small-buffer rate limiter modelled",
+        ),
+        Experiment(
+            "fig6", "Satellite link throughput vs buffer size", "4.1.3",
+            "repro.experiments.scenarios.satellite_scenario",
+            "benchmarks/bench_fig06_satellite.py",
+            ("pcc", "hybla", "illinois", "cubic", "reno"),
+        ),
+        Experiment(
+            "fig7", "Throughput under random loss", "4.1.4",
+            "repro.experiments.scenarios.lossy_link_scenario",
+            "benchmarks/bench_fig07_lossy.py",
+            ("pcc", "illinois", "cubic"),
+        ),
+        Experiment(
+            "fig8", "RTT fairness", "4.1.5",
+            "repro.experiments.scenarios.rtt_unfairness_scenario",
+            "benchmarks/bench_fig08_rtt_fairness.py",
+            ("pcc", "cubic", "reno"),
+        ),
+        Experiment(
+            "fig9", "Shallow-buffer throughput vs buffer size", "4.1.6",
+            "repro.experiments.scenarios.shallow_buffer_scenario",
+            "benchmarks/bench_fig09_shallow_buffer.py",
+            ("pcc", "reno_paced", "cubic"),
+        ),
+        Experiment(
+            "fig10", "Incast goodput vs number of senders", "4.1.8",
+            "repro.experiments.incast", "benchmarks/bench_fig10_incast.py",
+            ("pcc", "cubic"),
+        ),
+        Experiment(
+            "fig11", "Rapidly changing network rate tracking", "4.1.7",
+            "repro.experiments.scenarios.dynamic_network_scenario",
+            "benchmarks/bench_fig11_dynamic.py",
+            ("pcc", "cubic", "illinois"),
+        ),
+        Experiment(
+            "fig12", "Convergence of four staggered flows", "4.2.1",
+            "repro.experiments.scenarios.convergence_scenario",
+            "benchmarks/bench_fig12_convergence.py",
+            ("pcc", "cubic"),
+        ),
+        Experiment(
+            "fig13", "Jain's fairness index vs time scale", "4.2.1",
+            "repro.experiments.scenarios.fairness_index_over_timescales",
+            "benchmarks/bench_fig13_fairness_index.py",
+            ("pcc", "cubic", "reno"),
+        ),
+        Experiment(
+            "fig14", "TCP friendliness vs parallel-TCP selfishness", "4.3.1",
+            "repro.experiments.scenarios.friendliness_scenario",
+            "benchmarks/bench_fig14_friendliness.py",
+            ("pcc", "parallel_tcp"),
+        ),
+        Experiment(
+            "fig15", "Short-flow completion time vs load", "4.3.2",
+            "repro.experiments.scenarios.short_flow_scenario",
+            "benchmarks/bench_fig15_fct.py",
+            ("pcc", "cubic"),
+        ),
+        Experiment(
+            "fig16", "Stability/reactiveness trade-off (+ RCT ablation)", "4.2.2",
+            "repro.experiments.scenarios.tradeoff_scenario",
+            "benchmarks/bench_fig16_tradeoff.py",
+            ("pcc", "cubic", "reno", "vegas", "bic", "hybla", "westwood"),
+        ),
+        Experiment(
+            "fig17", "Power under AQM/FQ combinations", "4.4.1",
+            "repro.experiments.scenarios.aqm_power_scenario",
+            "benchmarks/bench_fig17_aqm_power.py",
+            ("pcc", "cubic"),
+        ),
+        Experiment(
+            "sec442", "Extreme random loss with the loss-resilient utility", "4.4.2",
+            "repro.experiments.scenarios.extreme_loss_scenario",
+            "benchmarks/bench_sec442_extreme_loss.py",
+            ("pcc", "cubic"),
+        ),
+        Experiment(
+            "theorems", "Theorem 1 (equilibrium) and Theorem 2 (dynamics)", "2.2",
+            "repro.analysis", "benchmarks/bench_theorems.py",
+            ("fluid model",),
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by its id (e.g. ``"fig7"``)."""
+    return EXPERIMENTS[experiment_id]
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments in paper order."""
+    return list(EXPERIMENTS.values())

@@ -1,0 +1,268 @@
+"""Experiment runner: turn flow specs into senders and collect results.
+
+The runner is the single place where congestion-control scheme names (the
+strings used in :class:`repro.netsim.flows.FlowSpec`) are resolved into
+concrete sender objects.  Every benchmark and example goes through
+:func:`run_flows`, so scenarios stay declarative: build a topology, list the
+flows, pick a duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cc import (
+    BicController,
+    CubicController,
+    HyblaController,
+    IllinoisController,
+    NewRenoController,
+    PacedRenoController,
+    ParallelTcpBundle,
+    PcpController,
+    SabulController,
+    VegasController,
+    WestwoodController,
+)
+from ..core import PCCScheme
+from ..netsim import (
+    DEFAULT_MSS,
+    FlowSpec,
+    FlowStats,
+    Path,
+    RateBasedSender,
+    Receiver,
+    SenderBase,
+    Simulator,
+    WindowedSender,
+    connect,
+)
+
+__all__ = ["FlowResult", "ScenarioResult", "run_flows", "available_schemes"]
+
+#: Names of the window-based TCP variants and their controller classes.
+_WINDOW_CONTROLLERS: Dict[str, Callable] = {
+    "reno": NewRenoController,
+    "newreno": NewRenoController,
+    "cubic": CubicController,
+    "illinois": IllinoisController,
+    "hybla": HyblaController,
+    "vegas": VegasController,
+    "bic": BicController,
+    "westwood": WestwoodController,
+    "reno_paced": PacedRenoController,
+}
+
+#: Names of the rate-based baselines and their controller classes.
+_RATE_CONTROLLERS: Dict[str, Callable] = {
+    "sabul": SabulController,
+    "pcp": PcpController,
+}
+
+
+def available_schemes() -> List[str]:
+    """All scheme names :func:`run_flows` understands."""
+    return sorted(
+        list(_WINDOW_CONTROLLERS) + list(_RATE_CONTROLLERS) + ["pcc", "parallel_tcp"]
+    )
+
+
+@dataclass
+class FlowResult:
+    """Everything recorded about one logical flow (possibly a parallel bundle)."""
+
+    spec: FlowSpec
+    senders: List[SenderBase] = field(default_factory=list)
+    stats_list: List[FlowStats] = field(default_factory=list)
+    schemes: List[object] = field(default_factory=list)
+
+    # -- aggregated metrics ---------------------------------------------------
+    @property
+    def stats(self) -> FlowStats:
+        """The primary (first) stats object — the common single-sender case."""
+        return self.stats_list[0]
+
+    def goodput_bps(self, duration: float) -> float:
+        """Receiver-side unique goodput summed over the bundle."""
+        return sum(stats.goodput_bps(duration) for stats in self.stats_list)
+
+    def throughput_bps(self, duration: float) -> float:
+        """Sender-side throughput summed over the bundle."""
+        return sum(stats.throughput_bps(duration) for stats in self.stats_list)
+
+    @property
+    def loss_rate(self) -> float:
+        """Aggregate loss fraction over the bundle."""
+        sent = sum(stats.packets_sent for stats in self.stats_list)
+        lost = sum(stats.packets_lost for stats in self.stats_list)
+        return lost / sent if sent else 0.0
+
+    @property
+    def mean_rtt(self) -> float:
+        """Sample-weighted mean RTT over the bundle (seconds)."""
+        total = sum(stats.rtt_sum for stats in self.stats_list)
+        count = sum(stats.rtt_count for stats in self.stats_list)
+        return total / count if count else 0.0
+
+    @property
+    def flow_completion_time(self) -> Optional[float]:
+        """FCT of the bundle: time until the *last* sub-flow finished."""
+        fcts = [stats.flow_completion_time for stats in self.stats_list]
+        if any(fct is None for fct in fcts):
+            return None
+        return max(fcts)
+
+    def throughput_series_mbps(self, start: float = 0.0,
+                               end: Optional[float] = None) -> List[float]:
+        """Per-bin goodput (Mbps) summed across the bundle."""
+        series_list = [
+            stats.throughput_series_mbps(start, end) for stats in self.stats_list
+        ]
+        length = max((len(s) for s in series_list), default=0)
+        combined = [0.0] * length
+        for series in series_list:
+            for i, value in enumerate(series):
+                combined[i] += value
+        return combined
+
+
+@dataclass
+class ScenarioResult:
+    """Result of one simulated scenario."""
+
+    simulator: Simulator
+    duration: float
+    flows: List[FlowResult]
+
+    def flow(self, index: int) -> FlowResult:
+        """The ``index``-th flow in spec order."""
+        return self.flows[index]
+
+    def by_label(self, label: str) -> FlowResult:
+        """Look a flow up by its spec label."""
+        for flow in self.flows:
+            if flow.spec.label == label:
+                return flow
+        raise KeyError(f"no flow labelled {label!r}")
+
+    def total_goodput_bps(self) -> float:
+        """Goodput summed over all flows, over the full duration."""
+        return sum(flow.goodput_bps(self.duration) for flow in self.flows)
+
+    def summary_rows(self) -> List[dict]:
+        """Plain-dict per-flow summary, convenient for printing tables."""
+        rows = []
+        for flow in self.flows:
+            rows.append(
+                {
+                    "label": flow.spec.label or flow.spec.scheme,
+                    "scheme": flow.spec.scheme,
+                    "goodput_mbps": flow.goodput_bps(self.duration) / 1e6,
+                    "loss_rate": flow.loss_rate,
+                    "mean_rtt_ms": flow.mean_rtt * 1000.0,
+                    "fct": flow.flow_completion_time,
+                }
+            )
+        return rows
+
+
+def _build_flow(
+    sim: Simulator,
+    flow_id: int,
+    path: Path,
+    spec: FlowSpec,
+    mss: int,
+    bin_width: float,
+) -> FlowResult:
+    """Instantiate the sender(s), receiver(s) and stats for one flow spec."""
+    result = FlowResult(spec=spec)
+    scheme = spec.scheme.lower()
+    kwargs = dict(spec.controller_kwargs)
+    # Each flow gets its own Path object (sharing the underlying links) because
+    # binding a receiver/sender pair to a Path attaches that pair's callbacks.
+    path = _clone_path(path)
+
+    if scheme == "parallel_tcp":
+        bundle = ParallelTcpBundle(
+            scheme=kwargs.pop("bundle_scheme", "cubic"),
+            bundle_size=kwargs.pop("bundle_size", 10),
+        )
+        controller_cls = _WINDOW_CONTROLLERS[bundle.scheme]
+        for offset, size in enumerate(bundle.split_bytes(spec.size_bytes)):
+            stats = FlowStats(flow_id * 1000 + offset, bin_width=bin_width)
+            receiver = Receiver(sim, stats.flow_id, stats)
+            sender = WindowedSender(
+                sim, stats.flow_id, _clone_path(path), controller_cls(**kwargs),
+                stats, total_bytes=size, mss=mss, start_time=spec.start_time,
+            )
+            connect(sender, receiver, sender.path)
+            result.senders.append(sender)
+            result.stats_list.append(stats)
+            result.schemes.append(sender.controller)
+        return result
+
+    stats = FlowStats(flow_id, bin_width=bin_width)
+    receiver = Receiver(sim, flow_id, stats)
+    if scheme == "pcc":
+        controller = PCCScheme(mss=mss, **kwargs)
+        sender: SenderBase = RateBasedSender(
+            sim, flow_id, path, controller, stats,
+            total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
+        )
+    elif scheme in _RATE_CONTROLLERS:
+        controller = _RATE_CONTROLLERS[scheme](mss=mss, **kwargs)
+        sender = RateBasedSender(
+            sim, flow_id, path, controller, stats,
+            total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
+        )
+    elif scheme in _WINDOW_CONTROLLERS:
+        controller = _WINDOW_CONTROLLERS[scheme](**kwargs)
+        pacing = bool(getattr(controller, "requires_pacing", False))
+        sender = WindowedSender(
+            sim, flow_id, path, controller, stats,
+            total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
+            pacing=pacing,
+        )
+    else:
+        raise ValueError(
+            f"unknown congestion-control scheme {spec.scheme!r}; "
+            f"known schemes: {', '.join(available_schemes())}"
+        )
+    connect(sender, receiver, path)
+    result.senders.append(sender)
+    result.stats_list.append(stats)
+    result.schemes.append(controller)
+    return result
+
+
+def _clone_path(path: Path) -> Path:
+    """A parallel-TCP bundle shares links but each sub-flow needs its own routes."""
+    return Path(path.forward_links, path.reverse_links)
+
+
+def run_flows(
+    sim: Simulator,
+    paths: Sequence[Path],
+    flow_specs: Sequence[FlowSpec],
+    duration: float,
+    mss: int = DEFAULT_MSS,
+    bin_width: float = 1.0,
+    warmup: float = 0.0,
+) -> ScenarioResult:
+    """Attach every flow spec to its path, run the simulation, return results.
+
+    ``warmup`` only affects the convenience summaries computed later by callers
+    (the runner itself always simulates the full ``duration``).
+    """
+    if not paths:
+        raise ValueError("run_flows needs at least one path")
+    flows: List[FlowResult] = []
+    for index, spec in enumerate(flow_specs):
+        path = paths[spec.path_index % len(paths)]
+        flows.append(_build_flow(sim, index + 1, path, spec, mss, bin_width))
+    for flow in flows:
+        for sender in flow.senders:
+            sender.start()
+    sim.run(duration)
+    return ScenarioResult(simulator=sim, duration=duration, flows=flows)

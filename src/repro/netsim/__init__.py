@@ -1,0 +1,70 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the substrate on which the PCC reproduction runs: links with
+finite bandwidth, propagation delay, random loss and configurable queue
+disciplines; routes; ack-clocked and rate-paced senders; and workload
+generators.  See DESIGN.md for the full inventory and the mapping from the
+paper's testbeds to these components.
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .packet import ACK_SIZE_BYTES, DEFAULT_MSS, Packet
+from .queues import (
+    CoDelQueue,
+    DropTailQueue,
+    FairQueue,
+    InfiniteQueue,
+    QueueDiscipline,
+)
+from .link import Link
+from .route import Path, Route
+from .stats import BinnedSeries, FlowStats, RTTEstimator, SequenceTracker
+from .endpoints import (
+    RateBasedSender,
+    Receiver,
+    SenderBase,
+    SentPacketRecord,
+    WindowedSender,
+    connect,
+)
+from .flows import FlowSpec, bulk_flows, incast_burst, poisson_short_flows
+from .topology import LinkConfig, bdp_bytes, dumbbell, incast, single_bottleneck
+from .dynamics import RandomLinkDynamics, ScheduledLinkDynamics
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "ACK_SIZE_BYTES",
+    "DEFAULT_MSS",
+    "Packet",
+    "CoDelQueue",
+    "DropTailQueue",
+    "FairQueue",
+    "InfiniteQueue",
+    "QueueDiscipline",
+    "Link",
+    "Path",
+    "Route",
+    "BinnedSeries",
+    "FlowStats",
+    "RTTEstimator",
+    "SequenceTracker",
+    "RateBasedSender",
+    "Receiver",
+    "SenderBase",
+    "SentPacketRecord",
+    "WindowedSender",
+    "connect",
+    "FlowSpec",
+    "bulk_flows",
+    "incast_burst",
+    "poisson_short_flows",
+    "LinkConfig",
+    "bdp_bytes",
+    "dumbbell",
+    "incast",
+    "single_bottleneck",
+    "RandomLinkDynamics",
+    "ScheduledLinkDynamics",
+]

@@ -1,0 +1,141 @@
+"""Time-varying link parameters.
+
+Figure 11 of the paper evaluates a "rapidly changing network": every 5 seconds
+the available bandwidth, latency and loss rate of the path are re-drawn from
+uniform distributions.  :class:`RandomLinkDynamics` reproduces that process on
+a simulated link; :class:`ScheduledLinkDynamics` applies an explicit schedule
+(useful for tests and for the Table 1 rate-limiter scenario).
+
+Both record the applied values so experiments can plot "optimal" (the actual
+available bandwidth over time) against each protocol's chosen rate, exactly as
+the paper's Figure 11 does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .engine import Simulator
+from .link import Link
+
+__all__ = ["RandomLinkDynamics", "ScheduledLinkDynamics"]
+
+
+class RandomLinkDynamics:
+    """Re-draw link bandwidth / delay / loss every ``period`` seconds.
+
+    Parameters mirror §4.1.7: bandwidth uniform in [10, 100] Mbps, one-way delay
+    uniform such that RTT is in [10, 100] ms, loss uniform in [0, 1]%.  Any of
+    the ranges can be disabled by passing ``None``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        period: float = 5.0,
+        bandwidth_range_bps: Optional[Tuple[float, float]] = (10e6, 100e6),
+        rtt_range: Optional[Tuple[float, float]] = (0.010, 0.100),
+        loss_range: Optional[Tuple[float, float]] = (0.0, 0.01),
+        reverse_link: Optional[Link] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.reverse_link = reverse_link
+        self.period = period
+        self.bandwidth_range_bps = bandwidth_range_bps
+        self.rtt_range = rtt_range
+        self.loss_range = loss_range
+        #: History of applied settings: (time, bandwidth_bps, rtt, loss_rate).
+        self.history: List[Tuple[float, float, float, float]] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Apply an initial draw immediately and re-draw every period."""
+        if self._running:
+            return
+        self._running = True
+        self._apply()
+
+    def _apply(self) -> None:
+        rng = self.sim.rng
+        bandwidth = self.link.bandwidth_bps
+        if self.bandwidth_range_bps is not None:
+            bandwidth = rng.uniform(*self.bandwidth_range_bps)
+            self.link.set_bandwidth(bandwidth)
+        rtt = self.link.delay * 2.0
+        if self.rtt_range is not None:
+            rtt = rng.uniform(*self.rtt_range)
+            self.link.set_delay(rtt / 2.0)
+            if self.reverse_link is not None:
+                self.reverse_link.set_delay(rtt / 2.0)
+        loss = self.link.loss_rate
+        if self.loss_range is not None:
+            loss = rng.uniform(*self.loss_range)
+            self.link.set_loss_rate(loss)
+        self.history.append((self.sim.now, bandwidth, rtt, loss))
+        self.sim.schedule(self.period, self._apply)
+
+    def optimal_rate_at(self, time: float) -> float:
+        """The available bandwidth (bps) that was in force at ``time``."""
+        rate = self.history[0][1] if self.history else self.link.bandwidth_bps
+        for applied_at, bandwidth, _rtt, _loss in self.history:
+            if applied_at <= time:
+                rate = bandwidth
+            else:
+                break
+        return rate
+
+    def mean_optimal_rate(self, start: float, end: float) -> float:
+        """Time-weighted mean available bandwidth between ``start`` and ``end``."""
+        if end <= start or not self.history:
+            return self.link.bandwidth_bps
+        total = 0.0
+        events = [h for h in self.history if h[0] < end]
+        for i, (applied_at, bandwidth, _rtt, _loss) in enumerate(events):
+            seg_start = max(applied_at, start)
+            seg_end = events[i + 1][0] if i + 1 < len(events) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total += bandwidth * (seg_end - seg_start)
+        return total / (end - start)
+
+
+class ScheduledLinkDynamics:
+    """Apply an explicit (time, bandwidth_bps, rtt, loss_rate) schedule to a link.
+
+    Entries with ``None`` leave the corresponding parameter unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        schedule: Sequence[Tuple[float, Optional[float], Optional[float], Optional[float]]],
+        reverse_link: Optional[Link] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.reverse_link = reverse_link
+        self.schedule = sorted(schedule, key=lambda entry: entry[0])
+        self.history: List[Tuple[float, float, float, float]] = []
+
+    def start(self) -> None:
+        """Schedule every entry in the schedule."""
+        for time, bandwidth, rtt, loss in self.schedule:
+            self.sim.schedule_at(time, self._apply, bandwidth, rtt, loss)
+
+    def _apply(self, bandwidth: Optional[float], rtt: Optional[float],
+               loss: Optional[float]) -> None:
+        if bandwidth is not None:
+            self.link.set_bandwidth(bandwidth)
+        if rtt is not None:
+            self.link.set_delay(rtt / 2.0)
+            if self.reverse_link is not None:
+                self.reverse_link.set_delay(rtt / 2.0)
+        if loss is not None:
+            self.link.set_loss_rate(loss)
+        self.history.append(
+            (self.sim.now, self.link.bandwidth_bps, self.link.delay * 2.0,
+             self.link.loss_rate)
+        )

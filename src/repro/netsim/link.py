@@ -1,0 +1,186 @@
+"""Simulated links.
+
+A :class:`Link` is a unidirectional transmission resource with
+
+* a finite bandwidth (the serialization rate),
+* a fixed propagation delay,
+* an optional Bernoulli per-packet random-loss probability, and
+* a queue discipline holding packets that arrive while the link is busy.
+
+This is the abstraction the paper's Emulab experiments configure directly
+(bandwidth, RTT, random loss rate, buffer size), and — composed in series —
+what the "wild Internet" paths of Figure 4/5 reduce to.
+
+Bandwidth, delay and loss are mutable at runtime so that the rapidly-changing
+network of Figure 11 and the bandwidth-reserving rate limiter of Table 1 can be
+modelled by rescheduling parameter changes (see :mod:`repro.netsim.dynamics`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Counters kept by every link."""
+
+    __slots__ = (
+        "packets_sent",
+        "bytes_sent",
+        "packets_randomly_lost",
+        "packets_queue_dropped",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_randomly_lost = 0
+        self.packets_queue_dropped = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float, bandwidth_bps: float) -> float:
+        """Fraction of ``elapsed`` seconds the link spent serializing packets."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Link:
+    """A unidirectional link with serialization, propagation, loss and a queue.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    bandwidth_bps:
+        Serialization rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Queue discipline holding packets while the link is busy.  Defaults to a
+        drop-tail queue sized generously (1 MB).
+    loss_rate:
+        Bernoulli probability that a packet is corrupted/lost *after* consuming
+        its serialization time (a transmitted-but-lost model, matching lossy
+        radio/satellite links where the bits are sent but never arrive intact).
+    name:
+        Optional human-readable name used in reprs and traces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay: float,
+        queue: Optional[QueueDiscipline] = None,
+        loss_rate: float = 0.0,
+        name: str = "",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay = float(delay)
+        self.loss_rate = float(loss_rate)
+        self.queue = queue if queue is not None else DropTailQueue(1_000_000)
+        self.queue.on_drop = self._record_queue_drop
+        self.name = name
+        self.stats = LinkStats()
+        self._busy = False
+        #: Optional hook invoked for every packet lost on this link (random loss
+        #: or queue drop); receives the packet.  Used by per-flow statistics.
+        self.on_loss: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # Parameter mutation (Figure 11 dynamics, Table 1 rate limiting)
+    # ------------------------------------------------------------------ #
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the serialization rate; takes effect for the next packet."""
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+
+    def set_delay(self, delay: float) -> None:
+        """Change the propagation delay; packets already in flight are unaffected."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the Bernoulli random-loss probability."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = float(loss_rate)
+
+    # ------------------------------------------------------------------ #
+    # Data path
+    # ------------------------------------------------------------------ #
+    def enqueue(self, packet: Packet) -> None:
+        """Offer ``packet`` to the link: queue it and start serializing if idle."""
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        if not accepted:
+            return
+        if not self._busy:
+            self._start_next()
+
+    def _record_queue_drop(self, packet: Packet) -> None:
+        self.stats.packets_queue_dropped += 1
+        if self.on_loss is not None:
+            self.on_loss(packet)
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        serialization = packet.size_bytes * 8.0 / self.bandwidth_bps
+        self.stats.busy_time += serialization
+        self.sim.schedule(serialization, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            self.stats.packets_randomly_lost += 1
+            if self.on_loss is not None:
+                self.on_loss(packet)
+        else:
+            self.sim.schedule(self.delay, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        route = packet.route
+        if route is None:
+            raise RuntimeError("packet has no route attached")
+        route.advance(packet)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def busy(self) -> bool:
+        """Whether the link is currently serializing a packet."""
+        return self._busy
+
+    def queueing_delay_estimate(self) -> float:
+        """Current queue drain time at the present bandwidth (seconds)."""
+        return self.queue.bytes_queued * 8.0 / self.bandwidth_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "link"
+        return (
+            f"Link({label}, {self.bandwidth_bps / 1e6:.2f} Mbps, "
+            f"{self.delay * 1000:.1f} ms, loss={self.loss_rate:.4f})"
+        )

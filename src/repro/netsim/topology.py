@@ -1,0 +1,222 @@
+"""Topology builders for the paper's evaluation scenarios.
+
+Every scenario in Section 4 reduces to one of a few shapes:
+
+* a **single bottleneck path** (satellite, lossy link, shallow buffer,
+  inter-data-center, wild-Internet pairs);
+* a **dumbbell**: several sender/receiver pairs whose access links feed one
+  shared bottleneck (convergence, fairness, RTT-unfairness, friendliness);
+* an **incast** fan-in: many senders, one receiver, one shared last-hop link.
+
+The builders here create the links and :class:`~repro.netsim.route.Path`
+objects; attaching senders/receivers and congestion controllers is done by
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .engine import Simulator
+from .link import Link
+from .queues import DropTailQueue, QueueDiscipline
+from .route import Path
+
+__all__ = [
+    "LinkConfig",
+    "single_bottleneck",
+    "dumbbell",
+    "incast",
+    "bdp_bytes",
+]
+
+
+def bdp_bytes(bandwidth_bps: float, rtt: float) -> float:
+    """Bandwidth-delay product in bytes."""
+    return bandwidth_bps * rtt / 8.0
+
+
+@dataclass
+class LinkConfig:
+    """Parameters for one unidirectional link."""
+
+    bandwidth_bps: float
+    delay: float
+    loss_rate: float = 0.0
+    buffer_bytes: float = 1_000_000.0
+    queue_factory: Optional[Callable[[], QueueDiscipline]] = None
+    name: str = ""
+
+    def build(self, sim: Simulator) -> Link:
+        """Instantiate the link inside ``sim``."""
+        if self.queue_factory is not None:
+            queue = self.queue_factory()
+        else:
+            queue = DropTailQueue(self.buffer_bytes)
+        return Link(
+            sim,
+            bandwidth_bps=self.bandwidth_bps,
+            delay=self.delay,
+            queue=queue,
+            loss_rate=self.loss_rate,
+            name=self.name,
+        )
+
+
+@dataclass
+class SingleBottleneck:
+    """A single bidirectional bottleneck path."""
+
+    forward: Link
+    reverse: Link
+    path: Path
+
+
+def single_bottleneck(
+    sim: Simulator,
+    bandwidth_bps: float,
+    rtt: float,
+    buffer_bytes: float,
+    loss_rate: float = 0.0,
+    reverse_loss_rate: Optional[float] = None,
+    queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
+    ack_bandwidth_bps: Optional[float] = None,
+) -> SingleBottleneck:
+    """Build one bottleneck link pair (forward data, reverse ACK).
+
+    The one-way propagation delay is ``rtt / 2`` in each direction.  The
+    reverse (ACK) direction gets the same bandwidth unless overridden and a
+    generous buffer, because none of the paper's experiments congest the ACK
+    path; its loss rate defaults to the forward loss rate only when
+    ``reverse_loss_rate`` is given (Figure 7 uses loss on both directions).
+    """
+    forward_cfg = LinkConfig(
+        bandwidth_bps=bandwidth_bps,
+        delay=rtt / 2.0,
+        loss_rate=loss_rate,
+        buffer_bytes=buffer_bytes,
+        queue_factory=queue_factory,
+        name="bottleneck-fwd",
+    )
+    reverse_cfg = LinkConfig(
+        bandwidth_bps=ack_bandwidth_bps or bandwidth_bps,
+        delay=rtt / 2.0,
+        loss_rate=reverse_loss_rate if reverse_loss_rate is not None else 0.0,
+        buffer_bytes=max(buffer_bytes, 3_000_000.0),
+        name="bottleneck-rev",
+    )
+    forward = forward_cfg.build(sim)
+    reverse = reverse_cfg.build(sim)
+    path = Path([forward], [reverse])
+    return SingleBottleneck(forward=forward, reverse=reverse, path=path)
+
+
+@dataclass
+class Dumbbell:
+    """A dumbbell: per-flow access links sharing one bottleneck in each direction."""
+
+    bottleneck_forward: Link
+    bottleneck_reverse: Link
+    access_forward: List[Link] = field(default_factory=list)
+    access_reverse: List[Link] = field(default_factory=list)
+    paths: List[Path] = field(default_factory=list)
+
+
+def dumbbell(
+    sim: Simulator,
+    bottleneck: LinkConfig,
+    access_delays: Sequence[float],
+    access_bandwidth_bps: Optional[float] = None,
+    access_buffer_bytes: float = 3_000_000.0,
+) -> Dumbbell:
+    """Build a dumbbell shared by ``len(access_delays)`` flows.
+
+    Each flow ``i`` traverses its own access link (propagation delay
+    ``access_delays[i]``, non-bottleneck bandwidth) followed by the shared
+    bottleneck; ACKs return over a mirrored reverse topology.  Per-flow base
+    RTT is ``2 * (access_delays[i] + bottleneck.delay)``.
+    """
+    access_bw = access_bandwidth_bps or bottleneck.bandwidth_bps * 10.0
+    bottleneck_forward = bottleneck.build(sim)
+    reverse_cfg = LinkConfig(
+        bandwidth_bps=bottleneck.bandwidth_bps,
+        delay=bottleneck.delay,
+        buffer_bytes=max(bottleneck.buffer_bytes, 3_000_000.0),
+        name="bottleneck-rev",
+    )
+    bottleneck_reverse = reverse_cfg.build(sim)
+    topo = Dumbbell(
+        bottleneck_forward=bottleneck_forward, bottleneck_reverse=bottleneck_reverse
+    )
+    for i, delay in enumerate(access_delays):
+        fwd = Link(
+            sim,
+            bandwidth_bps=access_bw,
+            delay=delay,
+            queue=DropTailQueue(access_buffer_bytes),
+            name=f"access-fwd-{i}",
+        )
+        rev = Link(
+            sim,
+            bandwidth_bps=access_bw,
+            delay=delay,
+            queue=DropTailQueue(access_buffer_bytes),
+            name=f"access-rev-{i}",
+        )
+        topo.access_forward.append(fwd)
+        topo.access_reverse.append(rev)
+        topo.paths.append(Path([fwd, bottleneck_forward], [bottleneck_reverse, rev]))
+    return topo
+
+
+@dataclass
+class Incast:
+    """An incast fan-in: many senders, one receiver behind a shared last hop."""
+
+    shared_link: Link
+    reverse_links: List[Link] = field(default_factory=list)
+    paths: List[Path] = field(default_factory=list)
+
+
+def incast(
+    sim: Simulator,
+    num_senders: int,
+    bandwidth_bps: float = 1_000_000_000.0,
+    rtt: float = 0.0004,
+    buffer_bytes: float = 64_000.0,
+    sender_bandwidth_bps: Optional[float] = None,
+) -> Incast:
+    """Build the Figure 10 incast topology.
+
+    ``num_senders`` senders each have a private access link into a switch whose
+    single output port (the shared link, with a shallow ``buffer_bytes``
+    buffer) leads to the receiver — the classic data-center incast bottleneck.
+    """
+    sender_bw = sender_bandwidth_bps or bandwidth_bps
+    shared = Link(
+        sim,
+        bandwidth_bps=bandwidth_bps,
+        delay=rtt / 4.0,
+        queue=DropTailQueue(buffer_bytes),
+        name="incast-shared",
+    )
+    topo = Incast(shared_link=shared)
+    for i in range(num_senders):
+        access = Link(
+            sim,
+            bandwidth_bps=sender_bw,
+            delay=rtt / 4.0,
+            queue=DropTailQueue(1_000_000.0),
+            name=f"incast-access-{i}",
+        )
+        reverse = Link(
+            sim,
+            bandwidth_bps=sender_bw,
+            delay=rtt / 2.0,
+            queue=DropTailQueue(1_000_000.0),
+            name=f"incast-rev-{i}",
+        )
+        topo.reverse_links.append(reverse)
+        topo.paths.append(Path([access, shared], [reverse]))
+    return topo

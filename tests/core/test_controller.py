@@ -1,0 +1,222 @@
+"""Unit tests for the PCC control state machine (no network involved)."""
+
+import random
+
+import pytest
+
+from repro.core.controller import ControllerState, MIPurpose, PCCController
+from repro.core.metrics import MonitorIntervalStats
+
+
+def completed_mi(rate_bps, utility, purpose, packets=20):
+    mi = MonitorIntervalStats(0, rate_bps, 0.0, 0.1, purpose=purpose)
+    for _ in range(packets):
+        mi.record_send(1500)
+        mi.record_ack(1500, 0.03)
+    mi.send_phase_over = True
+    mi.completed = True
+    mi.utility = utility
+    return mi
+
+
+def drive_starting_exit(controller, peak_utility=100.0):
+    """Walk the controller out of the starting state via a utility drop."""
+    rate1, purpose1 = controller.next_rate(0.0)
+    rate2, purpose2 = controller.next_rate(0.1)
+    controller.on_mi_complete(completed_mi(rate1, peak_utility * 0.5, purpose1))
+    controller.on_mi_complete(completed_mi(rate2, peak_utility, purpose2))
+    rate3, purpose3 = controller.next_rate(0.2)
+    controller.on_mi_complete(completed_mi(rate3, peak_utility * 0.1, purpose3))
+    return rate2
+
+
+class TestStartingState:
+    def test_rate_doubles_each_interval(self):
+        controller = PCCController(initial_rate_bps=1e6)
+        rates = [controller.next_rate(i * 0.1)[0] for i in range(4)]
+        assert rates == pytest.approx([1e6, 2e6, 4e6, 8e6])
+
+    def test_stays_in_starting_while_utility_rises(self):
+        controller = PCCController(initial_rate_bps=1e6)
+        for i in range(5):
+            rate, purpose = controller.next_rate(i * 0.1)
+            controller.on_mi_complete(completed_mi(rate, float(i + 1), purpose))
+        assert controller.state is ControllerState.STARTING
+
+    def test_utility_drop_exits_to_decision_at_previous_rate(self):
+        controller = PCCController(initial_rate_bps=1e6)
+        best_rate = drive_starting_exit(controller)
+        assert controller.state is ControllerState.DECISION
+        assert controller.rate_bps == pytest.approx(best_rate)
+
+    def test_loss_alone_does_not_exit_starting(self):
+        """Unlike TCP slow start, only a utility decrease ends the phase."""
+        controller = PCCController(initial_rate_bps=1e6)
+        rate, purpose = controller.next_rate(0.0)
+        mi = completed_mi(rate, 1.0, purpose)
+        mi.packets_lost = 5  # loss present but utility still improved
+        controller.on_mi_complete(mi)
+        assert controller.state is ControllerState.STARTING
+
+
+class TestDecisionState:
+    def make_decision_controller(self, use_rct=True):
+        controller = PCCController(initial_rate_bps=8e6, use_rct=use_rct)
+        controller.attach_rng(random.Random(0))
+        drive_starting_exit(controller)
+        return controller
+
+    def test_rct_plans_four_trials(self):
+        controller = self.make_decision_controller()
+        purposes = [controller.next_rate(i * 0.1)[1] for i in range(4)]
+        assert all(p.kind == "trial" for p in purposes)
+        signs = [p.sign for p in purposes]
+        assert sorted(signs[:2]) == [-1, 1]
+        assert sorted(signs[2:]) == [-1, 1]
+
+    def test_without_rct_plans_two_trials(self):
+        controller = self.make_decision_controller(use_rct=False)
+        purposes = [controller.next_rate(i * 0.1)[1] for i in range(3)]
+        assert [p.kind for p in purposes] == ["trial", "trial", "wait"]
+
+    def test_wait_rate_is_base_rate_after_trials(self):
+        controller = self.make_decision_controller()
+        base = controller.rate_bps
+        for i in range(4):
+            controller.next_rate(i * 0.1)
+        rate, purpose = controller.next_rate(0.5)
+        assert purpose.kind == "wait"
+        assert rate == pytest.approx(base)
+
+    def test_consistent_higher_utility_moves_up(self):
+        controller = self.make_decision_controller()
+        base = controller.rate_bps
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            utility = 10.0 if purpose.sign > 0 else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller.rate_bps > base
+
+    def test_consistent_lower_utility_moves_down(self):
+        controller = self.make_decision_controller()
+        base = controller.rate_bps
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            utility = 10.0 if purpose.sign < 0 else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller.rate_bps < base
+
+    def test_inconclusive_result_stays_and_raises_epsilon(self):
+        controller = self.make_decision_controller()
+        base = controller.rate_bps
+        eps_before = controller.epsilon
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        # First pair prefers higher, second pair prefers lower: inconclusive.
+        for rate, purpose in trials:
+            if purpose.trial_index < 2:
+                utility = 10.0 if purpose.sign > 0 else 5.0
+            else:
+                utility = 10.0 if purpose.sign < 0 else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.DECISION
+        assert controller.rate_bps == pytest.approx(base)
+        assert controller.epsilon == pytest.approx(eps_before + controller.epsilon_min)
+        assert controller.inconclusive_decisions == 1
+
+    def test_epsilon_capped_at_maximum(self):
+        controller = self.make_decision_controller()
+        controller.epsilon = controller.epsilon_max
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            if purpose.trial_index < 2:
+                utility = 10.0 if purpose.sign > 0 else 5.0
+            else:
+                utility = 10.0 if purpose.sign < 0 else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.epsilon == pytest.approx(controller.epsilon_max)
+
+    def test_stale_epoch_results_ignored(self):
+        controller = self.make_decision_controller()
+        rate, purpose = controller.next_rate(0.0)
+        stale = MIPurpose(kind="trial", epoch=purpose.epoch - 1, trial_index=0, sign=1)
+        controller.on_mi_complete(completed_mi(rate, 100.0, stale))
+        assert controller.state is ControllerState.DECISION
+        assert len(controller._trial_results) == 0
+
+    def test_empty_trial_requeued(self):
+        controller = self.make_decision_controller()
+        rate, purpose = controller.next_rate(0.0)
+        empty = MonitorIntervalStats(0, rate, 0.0, 0.1, purpose=purpose)
+        empty.send_phase_over = True
+        empty.completed = True
+        empty.utility = 0.0
+        plan_before = len(controller._trial_plan)
+        controller.on_mi_complete(empty)
+        assert len(controller._trial_plan) == plan_before + 1
+
+
+class TestAdjustingState:
+    def make_adjusting_controller(self, direction=1):
+        controller = PCCController(initial_rate_bps=8e6)
+        controller.attach_rng(random.Random(0))
+        drive_starting_exit(controller)
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            utility = 10.0 if purpose.sign == direction else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        return controller
+
+    def test_steps_accelerate(self):
+        controller = self.make_adjusting_controller(direction=1)
+        r0 = controller.rate_bps
+        r1, p1 = controller.next_rate(1.0)
+        r2, p2 = controller.next_rate(1.1)
+        r3, p3 = controller.next_rate(1.2)
+        eps = controller.epsilon_min
+        assert r1 == pytest.approx(r0 * (1 + eps))
+        assert r2 == pytest.approx(r1 * (1 + 2 * eps))
+        assert r3 == pytest.approx(r2 * (1 + 3 * eps))
+        assert [p1.step, p2.step, p3.step] == [1, 2, 3]
+
+    def test_downward_direction_decreases(self):
+        controller = self.make_adjusting_controller(direction=-1)
+        r0 = controller.rate_bps
+        r1, _ = controller.next_rate(1.0)
+        assert r1 < r0
+
+    def test_utility_drop_reverts_and_reenters_decision(self):
+        controller = self.make_adjusting_controller(direction=1)
+        r1, p1 = controller.next_rate(1.0)
+        controller.on_mi_complete(completed_mi(r1, 50.0, p1))
+        r2, p2 = controller.next_rate(1.1)
+        controller.on_mi_complete(completed_mi(r2, 10.0, p2))  # utility fell
+        assert controller.state is ControllerState.DECISION
+        assert controller.rate_bps == pytest.approx(r1)
+        assert controller.reversions == 1
+
+    def test_rising_utility_keeps_adjusting(self):
+        controller = self.make_adjusting_controller(direction=1)
+        for step in range(1, 4):
+            rate, purpose = controller.next_rate(1.0 + step * 0.1)
+            controller.on_mi_complete(completed_mi(rate, 50.0 + step, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+
+
+class TestGuards:
+    def test_rate_clamped_to_bounds(self):
+        controller = PCCController(initial_rate_bps=1e3, min_rate_bps=16_000,
+                                   max_rate_bps=1e6)
+        rate, _ = controller.next_rate(0.0)
+        assert rate == 16_000
+        for i in range(40):
+            rate, _ = controller.next_rate(0.1 * (i + 1))
+        assert rate == 1e6
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PCCController(epsilon_min=0.0)
+        with pytest.raises(ValueError):
+            PCCController(epsilon_min=0.05, epsilon_max=0.01)

@@ -1,0 +1,170 @@
+"""Unit tests for the performance monitor (MI lifecycle)."""
+
+import pytest
+
+from repro.core.metrics import MonitorIntervalStats
+from repro.core.monitor import PerformanceMonitor
+from repro.core.utility import SafeUtility
+from repro.netsim import Simulator
+
+
+class RecordingProvider:
+    """Rate provider stub that records how often it is asked for a rate."""
+
+    def __init__(self, rate_bps=10e6):
+        self.rate_bps = rate_bps
+        self.calls = 0
+
+    def __call__(self, now):
+        self.calls += 1
+        return self.rate_bps, ("purpose", self.calls)
+
+
+def make_monitor(sim, rate_bps=10e6, **kwargs):
+    provider = RecordingProvider(rate_bps)
+    completed = []
+    monitor = PerformanceMonitor(
+        sim=sim,
+        rate_provider=provider,
+        on_mi_complete=completed.append,
+        utility_function=SafeUtility(),
+        **kwargs,
+    )
+    return monitor, provider, completed
+
+
+class TestMILifecycle:
+    def test_first_call_opens_interval(self):
+        sim = Simulator()
+        monitor, provider, _ = make_monitor(sim)
+        mi_id = monitor.current_mi_id(0.0, rtt_estimate=0.03)
+        assert mi_id == 0
+        assert provider.calls == 1
+        assert monitor.current_interval.target_rate_bps == 10e6
+
+    def test_same_interval_reused_within_duration(self):
+        sim = Simulator()
+        monitor, provider, _ = make_monitor(sim)
+        first = monitor.current_mi_id(0.0, 0.03)
+        second = monitor.current_mi_id(0.01, 0.03)
+        assert first == second
+        assert provider.calls == 1
+
+    def test_new_interval_after_duration(self):
+        sim = Simulator()
+        monitor, provider, _ = make_monitor(sim)
+        monitor.current_mi_id(0.0, 0.03)
+        end = monitor.current_interval.send_end_time
+        sim.run(end + 0.001)
+        new_id = monitor.current_mi_id(sim.now, 0.03)
+        assert new_id == 1
+        assert provider.calls == 2
+
+    def test_duration_respects_rtt_randomisation_range(self):
+        sim = Simulator(seed=3)
+        monitor, _, _ = make_monitor(sim, rate_bps=100e6,
+                                     mi_rtt_range=(1.7, 2.2))
+        durations = []
+        now = 0.0
+        for _ in range(50):
+            monitor.current_mi_id(now, 0.05)
+            mi = monitor.current_interval
+            durations.append(mi.send_end_time - mi.start_time)
+            now = mi.send_end_time + 1e-6
+            sim.now = now  # advance manually; no events needed for this check
+        assert min(durations) >= 1.7 * 0.05 - 1e-9
+        assert max(durations) <= 2.2 * 0.05 + 1e-9
+
+    def test_duration_extends_to_fit_minimum_packets(self):
+        sim = Simulator()
+        # At 1 Mbps, 10 packets of 1500 B take 0.12 s > 2.2 * RTT(0.03) = 0.066 s.
+        monitor, _, _ = make_monitor(sim, rate_bps=1e6)
+        monitor.current_mi_id(0.0, 0.03)
+        mi = monitor.current_interval
+        assert mi.send_end_time - mi.start_time >= 10 * 1500 * 8 / 1e6 - 1e-9
+
+
+class TestFeedbackAccounting:
+    def test_ack_and_loss_attributed_to_right_interval(self):
+        sim = Simulator()
+        monitor, _, _ = make_monitor(sim)
+        mi_id = monitor.current_mi_id(0.0, 0.03)
+        monitor.record_send(mi_id, 1500)
+        monitor.record_send(mi_id, 1500)
+        monitor.record_ack(mi_id, 1500, 0.03)
+        monitor.record_loss(mi_id)
+        mi = monitor.current_interval
+        assert mi.packets_sent == 2
+        assert mi.packets_acked == 1
+        assert mi.packets_lost == 1
+
+    def test_unknown_or_none_mi_ignored(self):
+        sim = Simulator()
+        monitor, _, _ = make_monitor(sim)
+        monitor.record_ack(None, 1500, 0.03)
+        monitor.record_ack(999, 1500, 0.03)
+        monitor.record_loss(None)
+        monitor.record_send(None, 1500)
+        assert monitor.active_interval_count == 0
+
+    def test_completion_when_all_packets_accounted(self):
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim)
+        mi_id = monitor.current_mi_id(0.0, 0.03)
+        for _ in range(5):
+            monitor.record_send(mi_id, 1500)
+        # Close the send phase by advancing past the MI and opening the next.
+        end = monitor.current_interval.send_end_time
+        sim.run(end + 0.001)
+        monitor.current_mi_id(sim.now, 0.03)
+        for _ in range(5):
+            monitor.record_ack(mi_id, 1500, 0.03)
+        assert len(completed) == 1
+        assert completed[0].mi_id == mi_id
+        assert completed[0].utility is not None
+
+    def test_force_completion_after_deadline(self):
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim, completion_timeout_rtts=2.0)
+        mi_id = monitor.current_mi_id(0.0, 0.03)
+        for _ in range(5):
+            monitor.record_send(mi_id, 1500)
+        end = monitor.current_interval.send_end_time
+        sim.run(end + 0.001)
+        monitor.current_mi_id(sim.now, 0.03)
+        # Only 2 of 5 packets ever acknowledged; the deadline must force
+        # completion with the remaining 3 counted as lost.
+        monitor.record_ack(mi_id, 1500, 0.03)
+        monitor.record_ack(mi_id, 1500, 0.03)
+        sim.run(sim.now + 1.0)
+        assert len(completed) == 1
+        assert completed[0].packets_lost == 3
+
+    def test_late_feedback_for_completed_interval_ignored(self):
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim)
+        mi_id = monitor.current_mi_id(0.0, 0.03)
+        monitor.record_send(mi_id, 1500)
+        end = monitor.current_interval.send_end_time
+        sim.run(end + 0.001)
+        monitor.current_mi_id(sim.now, 0.03)
+        monitor.record_ack(mi_id, 1500, 0.03)
+        assert len(completed) == 1
+        # A duplicate/late ACK must not crash or double-complete.
+        monitor.record_ack(mi_id, 1500, 0.03)
+        assert len(completed) == 1
+
+    def test_completed_history_retained_in_order(self):
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim)
+        now = 0.0
+        for round_index in range(3):
+            mi_id = monitor.current_mi_id(now, 0.03)
+            monitor.record_send(mi_id, 1500)
+            end = monitor.current_interval.send_end_time
+            sim.run(end + 0.001)
+            now = sim.now
+            monitor.current_mi_id(now, 0.03)
+            monitor.record_ack(mi_id, 1500, 0.03)
+        assert [mi.mi_id for mi in monitor.completed_intervals] == [0, 1, 2]
+        assert len(completed) == 3

@@ -1,0 +1,127 @@
+"""Tests for the experiment runner, scenario builders and registry."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    available_schemes,
+    get_experiment,
+    list_experiments,
+    lossy_link_scenario,
+    run_flows,
+    run_incast,
+    sample_paths,
+    shallow_buffer_scenario,
+)
+from repro.netsim import FlowSpec, Simulator, single_bottleneck
+
+
+class TestRunner:
+    def test_unknown_scheme_rejected(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        with pytest.raises(ValueError):
+            run_flows(sim, [topo.path], [FlowSpec(scheme="nonsense")], duration=1.0)
+
+    def test_available_schemes_contains_all_paper_protocols(self):
+        schemes = available_schemes()
+        for name in ["pcc", "cubic", "reno", "illinois", "hybla", "vegas", "bic",
+                     "westwood", "reno_paced", "sabul", "pcp", "parallel_tcp"]:
+            assert name in schemes
+
+    def test_requires_at_least_one_path(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            run_flows(sim, [], [FlowSpec(scheme="pcc")], duration=1.0)
+
+    def test_two_flows_share_one_bottleneck(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        specs = [FlowSpec(scheme="cubic", label="a"),
+                 FlowSpec(scheme="cubic", label="b")]
+        result = run_flows(sim, [topo.path], specs, duration=10.0)
+        total = result.total_goodput_bps()
+        assert total < 20e6 * 1.05
+        assert total > 20e6 * 0.7
+        assert result.by_label("a").goodput_bps(10.0) > 1e6
+        assert result.by_label("b").goodput_bps(10.0) > 1e6
+
+    def test_parallel_tcp_bundle_expands_to_subflows(self):
+        sim = Simulator(seed=2)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        spec = FlowSpec(scheme="parallel_tcp",
+                        controller_kwargs={"bundle_size": 4})
+        result = run_flows(sim, [topo.path], [spec], duration=5.0)
+        assert len(result.flow(0).senders) == 4
+        assert result.flow(0).goodput_bps(5.0) > 5e6
+
+    def test_summary_rows_structure(self):
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        result = run_flows(sim, [topo.path],
+                           [FlowSpec(scheme="pcc", label="x")], duration=5.0)
+        rows = result.summary_rows()
+        assert rows[0]["label"] == "x"
+        assert rows[0]["goodput_mbps"] > 0
+
+    def test_by_label_missing_raises(self):
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        result = run_flows(sim, [topo.path], [FlowSpec(scheme="pcc", label="x")],
+                           duration=1.0)
+        with pytest.raises(KeyError):
+            result.by_label("missing")
+
+
+class TestScenarios:
+    def test_lossy_link_scenario_pcc_beats_cubic(self):
+        pcc = lossy_link_scenario("pcc", loss_rate=0.01, duration=8.0)
+        cubic = lossy_link_scenario("cubic", loss_rate=0.01, duration=8.0)
+        assert pcc.goodput_mbps > 2.0 * cubic.goodput_mbps
+
+    def test_shallow_buffer_scenario_outcome_fields(self):
+        outcome = shallow_buffer_scenario("pcc", buffer_bytes=9_000, duration=6.0)
+        assert outcome.scheme == "pcc"
+        assert outcome.goodput_bps == pytest.approx(outcome.goodput_mbps * 1e6)
+        assert 0.0 <= outcome.loss_rate < 1.0
+
+    def test_incast_all_flows_complete(self):
+        outcome = run_incast("pcc", 8, 64_000.0)
+        assert outcome["completed"] == 8
+        assert outcome["barrier_time"] is not None
+        assert outcome["goodput_mbps"] > 0
+
+    def test_internet_path_sampler_in_ranges(self):
+        paths = sample_paths(30, seed=1)
+        assert len(paths) == 30
+        for config in paths:
+            assert 5e6 <= config.bandwidth_bps <= 200e6
+            assert 0.010 <= config.rtt <= 0.400
+            assert 0.0 <= config.loss_rate <= 0.01
+            assert config.buffer_bytes >= 3_000.0
+
+    def test_internet_path_sampler_deterministic(self):
+        a = sample_paths(5, seed=9)
+        b = sample_paths(5, seed=9)
+        assert [(p.bandwidth_bps, p.rtt) for p in a] == [
+            (p.bandwidth_bps, p.rtt) for p in b]
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        ids = set(EXPERIMENTS)
+        expected = {"fig4_5", "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+                    "sec442", "theorems"}
+        assert expected <= ids
+
+    def test_get_experiment(self):
+        exp = get_experiment("fig7")
+        assert "loss" in exp.title.lower() or "random" in exp.title.lower()
+        assert exp.bench.endswith(".py")
+
+    def test_every_experiment_has_bench_file(self):
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for exp in list_experiments():
+            assert os.path.exists(os.path.join(root, exp.bench)), exp.bench

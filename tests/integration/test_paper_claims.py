@@ -1,0 +1,133 @@
+"""Integration tests: scaled-down versions of the paper's headline claims.
+
+These are small/cheap versions of the benchmark scenarios, run as part of the
+normal test suite so regressions in the qualitative results are caught early.
+"""
+
+import pytest
+
+from repro.core import make_pcc_sender
+from repro.experiments import (
+    dynamic_network_scenario,
+    lossy_link_scenario,
+    rtt_unfairness_scenario,
+    run_flows,
+    shallow_buffer_scenario,
+)
+from repro.netsim import FlowSpec, FlowStats, Simulator, bdp_bytes, single_bottleneck
+
+
+class TestRandomLossClaim:
+    """§4.1.4: PCC is highly resilient to random loss, TCP collapses."""
+
+    def test_pcc_beats_cubic_by_large_factor_at_one_percent_loss(self):
+        pcc = lossy_link_scenario("pcc", 0.01, duration=10.0, bandwidth_bps=50e6)
+        cubic = lossy_link_scenario("cubic", 0.01, duration=10.0, bandwidth_bps=50e6)
+        assert pcc.goodput_mbps > 0.7 * 50.0
+        assert pcc.goodput_mbps > 3.0 * cubic.goodput_mbps
+
+    def test_illinois_also_collapses(self):
+        pcc = lossy_link_scenario("pcc", 0.02, duration=12.0, bandwidth_bps=100e6,
+                                  seed=2)
+        illinois = lossy_link_scenario("illinois", 0.02, duration=12.0,
+                                       bandwidth_bps=100e6, seed=2)
+        assert pcc.goodput_mbps > 2.0 * illinois.goodput_mbps
+
+
+class TestShallowBufferClaim:
+    """§4.1.6: PCC fills a shallow-buffered link that TCP cannot."""
+
+    def test_pcc_reaches_most_of_capacity_with_six_packet_buffer(self):
+        outcome = shallow_buffer_scenario("pcc", buffer_bytes=9_000,
+                                          duration=10.0, bandwidth_bps=50e6)
+        assert outcome.goodput_mbps > 0.75 * 50.0
+
+    def test_pcc_beats_cubic_with_tiny_buffer(self):
+        pcc = shallow_buffer_scenario("pcc", buffer_bytes=4_500, duration=10.0,
+                                      bandwidth_bps=50e6)
+        cubic = shallow_buffer_scenario("cubic", buffer_bytes=4_500, duration=10.0,
+                                        bandwidth_bps=50e6)
+        assert pcc.goodput_mbps > cubic.goodput_mbps
+
+
+class TestRTTFairnessClaim:
+    """§4.1.5: PCC mitigates RTT unfairness architecturally."""
+
+    def test_long_rtt_flow_not_starved(self):
+        result = rtt_unfairness_scenario("pcc", long_rtt=0.060,
+                                         bandwidth_bps=20e6, duration=30.0)
+        assert result["ratio"] > 0.25
+
+    def test_pcc_fairer_than_new_reno(self):
+        pcc = rtt_unfairness_scenario("pcc", long_rtt=0.060, bandwidth_bps=20e6,
+                                      duration=30.0)
+        reno = rtt_unfairness_scenario("reno", long_rtt=0.060, bandwidth_bps=20e6,
+                                       duration=30.0)
+        assert pcc["ratio"] > reno["ratio"]
+
+
+class TestDynamicNetworkClaim:
+    """§4.1.7: PCC tracks a rapidly changing network."""
+
+    def test_pcc_tracks_changing_bandwidth(self):
+        result = dynamic_network_scenario("pcc", duration=30.0)
+        assert result["fraction_of_optimal"] > 0.45
+
+    def test_pcc_beats_cubic_under_dynamics(self):
+        pcc = dynamic_network_scenario("pcc", duration=30.0)
+        cubic = dynamic_network_scenario("cubic", duration=30.0)
+        assert pcc["goodput_mbps"] > cubic["goodput_mbps"]
+
+
+class TestMultiFlowConvergence:
+    """§4.2: competing PCC flows converge to an efficient, fair allocation."""
+
+    def test_two_pcc_flows_share_a_bottleneck(self):
+        sim = Simulator(seed=21)
+        topo = single_bottleneck(sim, 30e6, 0.03,
+                                 buffer_bytes=bdp_bytes(30e6, 0.03))
+        specs = [FlowSpec(scheme="pcc", label="a"),
+                 FlowSpec(scheme="pcc", label="b", start_time=5.0)]
+        result = run_flows(sim, [topo.path], specs, duration=40.0)
+        a = result.by_label("a").stats
+        b = result.by_label("b").stats
+        # Measure after both are active: each should hold a substantial share
+        # and the total should be close to capacity.
+        a_late = sum(a.delivered_bins.bin_values(20.0, 39.0))
+        b_late = sum(b.delivered_bins.bin_values(20.0, 39.0))
+        total_mbps = (a_late + b_late) * 8 / 19.0 / 1e6
+        assert total_mbps > 0.7 * 30.0
+        smaller, larger = sorted([a_late, b_late])
+        assert smaller > 0.25 * larger
+
+    def test_pcc_flow_finishes_and_frees_bandwidth(self):
+        sim = Simulator(seed=22)
+        topo = single_bottleneck(sim, 30e6, 0.03,
+                                 buffer_bytes=bdp_bytes(30e6, 0.03))
+        specs = [FlowSpec(scheme="pcc", label="long"),
+                 FlowSpec(scheme="pcc", label="short", size_bytes=1_500_000,
+                          start_time=2.0)]
+        result = run_flows(sim, [topo.path], specs, duration=30.0)
+        short = result.by_label("short")
+        # The short transfer makes substantial progress (it may finish or be
+        # close to finishing, depending on how quickly it ramps up while the
+        # long flow already holds the link).
+        assert short.stats.unique_bytes_delivered > 750_000
+        long_flow = result.by_label("long").stats
+        late = sum(long_flow.delivered_bins.bin_values(20.0, 29.0)) * 8 / 9.0 / 1e6
+        assert late > 0.5 * 30.0
+
+
+class TestUserSpacePrototypeShape:
+    """§3: the prototype pieces work together through the public API."""
+
+    def test_make_pcc_sender_end_to_end(self):
+        sim = Simulator(seed=23)
+        topo = single_bottleneck(sim, 10e6, 0.05, buffer_bytes=62_500)
+        stats = FlowStats(1)
+        sender, receiver, scheme = make_pcc_sender(sim, 1, topo.path, stats)
+        sender.start()
+        sim.run(15.0)
+        assert stats.goodput_bps(15.0) > 0.6 * 10e6
+        assert scheme.completed_intervals
+        assert all(mi.utility is not None for mi in scheme.completed_intervals)

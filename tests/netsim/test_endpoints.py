@@ -1,0 +1,226 @@
+"""Integration-ish unit tests for senders and receivers on small topologies."""
+
+import pytest
+
+from repro.cc import NewRenoController
+from repro.netsim import (
+    FlowStats,
+    Receiver,
+    Simulator,
+    WindowedSender,
+    RateBasedSender,
+    connect,
+    single_bottleneck,
+)
+
+
+class FixedRateController:
+    """Minimal rate controller used to exercise RateBasedSender in isolation."""
+
+    def __init__(self, rate_bps):
+        self._rate = rate_bps
+        self.acked = 0
+        self.lost = 0
+
+    def rate_bps(self):
+        return self._rate
+
+    def on_ack(self, record, rtt, now):
+        self.acked += 1
+
+    def on_loss(self, record, now):
+        self.lost += 1
+
+
+def build_windowed(sim, topo, total_bytes=None, controller=None, start_time=0.0,
+                   flow_id=1, pacing=False):
+    stats = FlowStats(flow_id, bin_width=0.5)
+    receiver = Receiver(sim, flow_id, stats)
+    sender = WindowedSender(
+        sim, flow_id, topo.path, controller or NewRenoController(), stats,
+        total_bytes=total_bytes, start_time=start_time, pacing=pacing,
+    )
+    connect(sender, receiver, topo.path)
+    sender.start()
+    return sender, receiver, stats
+
+
+class TestReliableDelivery:
+    def test_finite_flow_completes_and_delivers_every_segment(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=300_000)
+        sim.run(10.0)
+        assert sender.completed
+        assert receiver.delivered.count == sender.total_segments
+        assert stats.flow_completion_time is not None
+        assert stats.flow_completion_time < 10.0
+
+    def test_finite_flow_completes_despite_random_loss(self):
+        sim = Simulator(seed=2)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000, loss_rate=0.05)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=150_000)
+        sim.run(20.0)
+        assert sender.completed
+        assert receiver.delivered.count == sender.total_segments
+        assert stats.retransmissions > 0
+
+    def test_flow_start_time_respected(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=15_000,
+                                                 start_time=3.0)
+        sim.run(10.0)
+        assert stats.start_time == pytest.approx(3.0)
+        assert stats.first_send_time >= 3.0
+
+    def test_rtt_samples_close_to_base_rtt_on_idle_link(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 100e6, 0.05, buffer_bytes=500_000)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=30_000)
+        sim.run(5.0)
+        assert stats.rtt_min >= 0.05
+        assert stats.rtt_min < 0.06
+
+
+class TestLossDetectionAndRecovery:
+    def test_lost_packets_are_retransmitted(self):
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=10_000)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=1_500_000)
+        sim.run(5.0)
+        assert stats.packets_lost > 0
+        assert stats.retransmissions >= stats.packets_lost * 0.5
+
+    def test_loss_rate_reflects_queue_drops(self):
+        sim = Simulator(seed=4)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=10_000)
+        sender, receiver, stats = build_windowed(sim, topo)
+        sim.run(5.0)
+        drops = topo.forward.stats.packets_queue_dropped
+        assert drops > 0
+        # Every queue drop is eventually detected by the sender (within slack
+        # for packets still in flight at the end of the run).
+        assert stats.packets_lost >= drops * 0.8
+
+    def test_timeout_recovers_from_total_blackout(self):
+        sim = Simulator(seed=5)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        sender, receiver, stats = build_windowed(sim, topo, total_bytes=75_000)
+        # Blackout: forward link loses everything for a while.
+        topo.forward.set_loss_rate(0.97)
+        sim.run(1.0)
+        topo.forward.set_loss_rate(0.0)
+        sim.run(30.0)
+        assert sender.completed
+        assert stats.timeouts >= 1
+
+
+class TestWindowedSenderBehaviour:
+    def test_inflight_never_exceeds_cwnd_plus_one(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.04, buffer_bytes=100_000)
+        controller = NewRenoController(initial_cwnd=4, initial_ssthresh=8)
+        sender, receiver, stats = build_windowed(sim, topo, controller=controller)
+
+        violations = []
+
+        def check():
+            if sender.inflight_packets > int(controller.cwnd) + 1:
+                violations.append((sim.now, sender.inflight_packets, controller.cwnd))
+            if sim.now < 2.0:
+                sim.schedule(0.01, check)
+
+        sim.schedule(0.05, check)
+        sim.run(2.5)
+        assert violations == []
+
+    def test_goodput_tracks_bottleneck_on_clean_link(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 20e6, 0.03, buffer_bytes=75_000)
+        sender, receiver, stats = build_windowed(sim, topo)
+        sim.run(10.0)
+        assert stats.goodput_bps(10.0) > 0.85 * 20e6
+
+    def test_paced_sender_also_fills_link(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 20e6, 0.03, buffer_bytes=75_000)
+        sender, receiver, stats = build_windowed(sim, topo, pacing=True)
+        sim.run(10.0)
+        assert stats.goodput_bps(10.0) > 0.7 * 20e6
+
+    def test_paced_sender_smoother_queue_than_bursty(self):
+        def max_queue(pacing):
+            sim = Simulator(seed=1)
+            topo = single_bottleneck(sim, 20e6, 0.03, buffer_bytes=300_000)
+            peak = [0]
+            build_windowed(sim, topo, pacing=pacing)
+
+            def sample():
+                peak[0] = max(peak[0], topo.forward.queue.bytes_queued)
+                if sim.now < 3.0:
+                    sim.schedule(0.005, sample)
+
+            sim.schedule(0.0, sample)
+            sim.run(3.0)
+            return peak[0]
+
+        assert max_queue(pacing=True) <= max_queue(pacing=False)
+
+
+class TestRateBasedSender:
+    def test_sends_at_configured_rate(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 100e6, 0.02, buffer_bytes=500_000)
+        stats = FlowStats(1)
+        controller = FixedRateController(10e6)
+        receiver = Receiver(sim, 1, stats)
+        sender = RateBasedSender(sim, 1, topo.path, controller, stats)
+        connect(sender, receiver, topo.path)
+        sender.start()
+        sim.run(10.0)
+        assert stats.throughput_bps(10.0) == pytest.approx(10e6, rel=0.05)
+        assert controller.acked > 0
+
+    def test_rate_above_capacity_saturates_and_reports_loss(self):
+        sim = Simulator(seed=2)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=30_000)
+        stats = FlowStats(1)
+        controller = FixedRateController(20e6)
+        receiver = Receiver(sim, 1, stats)
+        sender = RateBasedSender(sim, 1, topo.path, controller, stats)
+        connect(sender, receiver, topo.path)
+        sender.start()
+        sim.run(10.0)
+        assert stats.goodput_bps(10.0) == pytest.approx(10e6, rel=0.1)
+        assert controller.lost > 0
+        # Roughly half the packets exceed capacity.
+        assert 0.3 < stats.loss_rate < 0.6
+
+    def test_finite_rate_flow_completes(self):
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=100_000)
+        stats = FlowStats(1)
+        receiver = Receiver(sim, 1, stats)
+        sender = RateBasedSender(sim, 1, topo.path, FixedRateController(5e6), stats,
+                                 total_bytes=100_000)
+        connect(sender, receiver, topo.path)
+        sender.start()
+        sim.run(10.0)
+        assert sender.completed
+        assert receiver.delivered.count == sender.total_segments
+
+    def test_probe_train_sends_back_to_back_probes(self):
+        sim = Simulator(seed=4)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=100_000)
+        stats = FlowStats(1)
+        receiver = Receiver(sim, 1, stats)
+        sender = RateBasedSender(sim, 1, topo.path, FixedRateController(1e6), stats)
+        connect(sender, receiver, topo.path)
+        sender.start()
+        sim.run(0.5)
+        before = stats.packets_sent
+        packets = sender.send_probe_train(5)
+        assert len(packets) == 5
+        assert all(p.is_probe for p in packets)
+        assert stats.packets_sent == before + 5

@@ -1,0 +1,164 @@
+"""Unit tests for the queue disciplines."""
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import CoDelQueue, DropTailQueue, FairQueue, InfiniteQueue
+
+
+def make_packet(flow_id=1, packet_id=0, size=1500):
+    return Packet(flow_id=flow_id, packet_id=packet_id, data_seq=packet_id,
+                  size_bytes=size, sent_time=0.0)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        packets = [make_packet(packet_id=i) for i in range(3)]
+        for p in packets:
+            assert queue.enqueue(p, now=0.0)
+        out = [queue.dequeue(0.0) for _ in range(3)]
+        assert [p.packet_id for p in out] == [0, 1, 2]
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        assert queue.enqueue(make_packet(packet_id=0), 0.0)
+        assert queue.enqueue(make_packet(packet_id=1), 0.0)
+        assert not queue.enqueue(make_packet(packet_id=2), 0.0)
+        assert queue.stats.dropped == 1
+        assert queue.packets_queued == 2
+
+    def test_occupancy_never_exceeds_capacity(self):
+        queue = DropTailQueue(capacity_bytes=4500)
+        for i in range(10):
+            queue.enqueue(make_packet(packet_id=i), 0.0)
+        assert queue.bytes_queued <= 4500
+
+    def test_dequeue_empty_returns_none(self):
+        queue = DropTailQueue(capacity_bytes=3000)
+        assert queue.dequeue(0.0) is None
+
+    def test_byte_accounting_roundtrip(self):
+        queue = DropTailQueue(capacity_bytes=100_000)
+        for i in range(5):
+            queue.enqueue(make_packet(packet_id=i, size=1000), 0.0)
+        assert queue.bytes_queued == 5000
+        queue.dequeue(0.0)
+        queue.dequeue(0.0)
+        assert queue.bytes_queued == 3000
+        assert queue.packets_queued == 3
+
+    def test_on_drop_hook_invoked(self):
+        queue = DropTailQueue(capacity_bytes=1500)
+        dropped = []
+        queue.on_drop = dropped.append
+        queue.enqueue(make_packet(packet_id=0), 0.0)
+        queue.enqueue(make_packet(packet_id=1), 0.0)
+        assert [p.packet_id for p in dropped] == [1]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_bytes=0)
+
+
+class TestInfiniteQueue:
+    def test_never_drops(self):
+        queue = InfiniteQueue()
+        for i in range(1000):
+            assert queue.enqueue(make_packet(packet_id=i), 0.0)
+        assert queue.stats.dropped == 0
+        assert queue.packets_queued == 1000
+
+    def test_fifo_order(self):
+        queue = InfiniteQueue()
+        for i in range(5):
+            queue.enqueue(make_packet(packet_id=i), 0.0)
+        assert [queue.dequeue(0.0).packet_id for _ in range(5)] == list(range(5))
+
+
+class TestCoDel:
+    def test_no_drops_when_sojourn_below_target(self):
+        queue = CoDelQueue(target=0.005, interval=0.1)
+        for i in range(20):
+            queue.enqueue(make_packet(packet_id=i), now=0.0)
+        # Dequeue immediately: sojourn time ~0, CoDel must not drop.
+        out = [queue.dequeue(0.001) for _ in range(20)]
+        assert all(p is not None for p in out)
+        assert queue.stats.dropped == 0
+
+    def test_drops_after_persistent_queueing(self):
+        queue = CoDelQueue(target=0.005, interval=0.1)
+        # Fill a deep standing queue at t=0.
+        for i in range(200):
+            queue.enqueue(make_packet(packet_id=i), now=0.0)
+        # Drain slowly starting at t=0.5: sojourn times are way above target
+        # for longer than an interval, so CoDel must start dropping.
+        drained = 0
+        dropped_before = queue.stats.dropped
+        t = 0.5
+        while queue.packets_queued > 0:
+            if queue.dequeue(t) is not None:
+                drained += 1
+            t += 0.01
+        assert queue.stats.dropped > dropped_before
+
+    def test_respects_byte_capacity(self):
+        queue = CoDelQueue(capacity_bytes=3000)
+        assert queue.enqueue(make_packet(packet_id=0), 0.0)
+        assert queue.enqueue(make_packet(packet_id=1), 0.0)
+        assert not queue.enqueue(make_packet(packet_id=2), 0.0)
+
+
+class TestFairQueue:
+    def test_round_robin_across_flows(self):
+        queue = FairQueue(quantum_bytes=1500)
+        for i in range(4):
+            queue.enqueue(make_packet(flow_id=1, packet_id=i), 0.0)
+        for i in range(4):
+            queue.enqueue(make_packet(flow_id=2, packet_id=100 + i), 0.0)
+        served_flows = [queue.dequeue(0.0).flow_id for _ in range(8)]
+        # Long-run service must alternate: neither flow is served more than
+        # one packet ahead of the other at any prefix.
+        balance = 0
+        for flow_id in served_flows:
+            balance += 1 if flow_id == 1 else -1
+            assert abs(balance) <= 1
+
+    def test_single_flow_behaves_like_fifo(self):
+        queue = FairQueue()
+        for i in range(5):
+            queue.enqueue(make_packet(flow_id=7, packet_id=i), 0.0)
+        assert [queue.dequeue(0.0).packet_id for _ in range(5)] == list(range(5))
+
+    def test_isolation_one_flow_overflowing_does_not_drop_other(self):
+        queue = FairQueue(per_flow_capacity_bytes=3000)
+        # Flow 1 overflows its own child queue.
+        accepted_flow1 = [queue.enqueue(make_packet(flow_id=1, packet_id=i), 0.0)
+                          for i in range(10)]
+        assert not all(accepted_flow1)
+        # Flow 2 still gets its packets in.
+        assert queue.enqueue(make_packet(flow_id=2, packet_id=100), 0.0)
+
+    def test_aggregate_occupancy_consistent_after_drops(self):
+        queue = FairQueue(per_flow_capacity_bytes=3000)
+        for i in range(10):
+            queue.enqueue(make_packet(flow_id=1, packet_id=i), 0.0)
+        # Drain everything; occupancy must return to exactly zero.
+        while queue.dequeue(0.0) is not None:
+            pass
+        assert queue.bytes_queued == 0
+        assert queue.packets_queued == 0
+
+    def test_unequal_packet_sizes_share_bytes_not_packets(self):
+        queue = FairQueue(quantum_bytes=1500)
+        # Flow 1 sends 1500-byte packets, flow 2 sends 500-byte packets.
+        for i in range(6):
+            queue.enqueue(make_packet(flow_id=1, packet_id=i, size=1500), 0.0)
+        for i in range(18):
+            queue.enqueue(make_packet(flow_id=2, packet_id=100 + i, size=500), 0.0)
+        bytes_served = {1: 0, 2: 0}
+        for _ in range(12):
+            packet = queue.dequeue(0.0)
+            bytes_served[packet.flow_id] += packet.size_bytes
+        # Byte service should be roughly equal (within one quantum).
+        assert abs(bytes_served[1] - bytes_served[2]) <= 1500

@@ -1,0 +1,179 @@
+"""Unit tests for per-flow statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.netsim.stats import BinnedSeries, FlowStats, RTTEstimator, SequenceTracker
+
+
+class TestBinnedSeries:
+    def test_values_accumulate_in_bins(self):
+        series = BinnedSeries(bin_width=1.0)
+        series.add(0.2, 10.0)
+        series.add(0.9, 5.0)
+        series.add(1.1, 7.0)
+        assert series.bin_values(0.0, 1.9) == [15.0, 7.0]
+
+    def test_missing_bins_are_zero(self):
+        series = BinnedSeries(bin_width=1.0)
+        series.add(0.5, 1.0)
+        series.add(3.5, 2.0)
+        assert series.bin_values(0.0, 3.5) == [1.0, 0.0, 0.0, 2.0]
+
+    def test_total(self):
+        series = BinnedSeries(bin_width=0.5)
+        for t in [0.1, 0.6, 1.4, 2.2]:
+            series.add(t, 2.0)
+        assert series.total() == pytest.approx(8.0)
+
+    def test_series_sorted_by_time(self):
+        series = BinnedSeries(bin_width=1.0)
+        series.add(5.5, 1.0)
+        series.add(0.5, 1.0)
+        assert [t for t, _ in series.series()] == [0.0, 5.0]
+
+    def test_empty(self):
+        assert BinnedSeries().bin_values() == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(bin_width=0.0)
+
+
+class TestSequenceTracker:
+    def test_in_order_sequences(self):
+        tracker = SequenceTracker()
+        for seq in range(5):
+            assert tracker.add(seq)
+        assert tracker.count == 5
+        assert tracker.next_expected == 5
+
+    def test_duplicates_detected(self):
+        tracker = SequenceTracker()
+        assert tracker.add(0)
+        assert not tracker.add(0)
+        assert tracker.duplicates == 1
+        assert tracker.count == 1
+
+    def test_out_of_order_fills_gap(self):
+        tracker = SequenceTracker()
+        tracker.add(0)
+        tracker.add(2)
+        tracker.add(3)
+        assert tracker.next_expected == 1
+        assert tracker.missing_below_frontier() == 0 or tracker.missing_below_frontier() >= 0
+        tracker.add(1)
+        assert tracker.next_expected == 4
+        assert tracker.count == 4
+
+    def test_contains(self):
+        tracker = SequenceTracker()
+        tracker.add(0)
+        tracker.add(5)
+        assert 0 in tracker
+        assert 5 in tracker
+        assert 3 not in tracker
+
+    def test_memory_compaction_below_frontier(self):
+        tracker = SequenceTracker()
+        for seq in range(1000):
+            tracker.add(seq)
+        # The out-of-order set must stay empty for purely in-order arrivals.
+        assert len(tracker._above) == 0
+
+
+class TestRTTEstimator:
+    def test_first_sample_initialises(self):
+        rtt = RTTEstimator()
+        rtt.update(0.1)
+        assert rtt.srtt == pytest.approx(0.1)
+        assert rtt.min_rtt == pytest.approx(0.1)
+
+    def test_smoothing_follows_samples(self):
+        rtt = RTTEstimator()
+        for _ in range(100):
+            rtt.update(0.05)
+        assert rtt.srtt == pytest.approx(0.05, rel=1e-6)
+
+    def test_rto_has_minimum(self):
+        rtt = RTTEstimator(min_rto=0.2)
+        for _ in range(50):
+            rtt.update(0.001)
+        assert rtt.rto >= 0.2
+
+    def test_rto_grows_with_variance(self):
+        stable = RTTEstimator()
+        jittery = RTTEstimator()
+        for i in range(100):
+            stable.update(0.5)
+            jittery.update(0.5 + (0.2 if i % 2 else -0.2))
+        assert jittery.rto > stable.rto
+
+    def test_non_positive_samples_ignored(self):
+        rtt = RTTEstimator()
+        rtt.update(-1.0)
+        rtt.update(0.0)
+        assert rtt.srtt is None
+
+    def test_default_rto_before_samples(self):
+        assert RTTEstimator().rto == pytest.approx(1.0)
+
+
+class TestFlowStats:
+    def test_loss_rate_and_throughput(self):
+        stats = FlowStats(1)
+        for _ in range(100):
+            stats.record_send(0.0, 1500, retransmission=False)
+        for _ in range(10):
+            stats.record_loss()
+        assert stats.loss_rate == pytest.approx(0.1)
+        assert stats.throughput_bps(1.0) == pytest.approx(100 * 1500 * 8)
+
+    def test_goodput_counts_only_new_data(self):
+        stats = FlowStats(1)
+        stats.record_delivery(0.5, 1500, is_new=True)
+        stats.record_delivery(0.6, 1500, is_new=False)
+        assert stats.unique_bytes_delivered == 1500
+        assert stats.duplicate_packets == 1
+        assert stats.goodput_bps(1.0) == pytest.approx(1500 * 8)
+
+    def test_rtt_statistics(self):
+        stats = FlowStats(1)
+        stats.record_ack(1500, 0.010)
+        stats.record_ack(1500, 0.030)
+        assert stats.mean_rtt == pytest.approx(0.020)
+        assert stats.rtt_min == pytest.approx(0.010)
+        assert stats.rtt_max == pytest.approx(0.030)
+
+    def test_flow_completion_time(self):
+        stats = FlowStats(1)
+        stats.start_time = 2.0
+        stats.completion_time = 5.5
+        assert stats.flow_completion_time == pytest.approx(3.5)
+
+    def test_flow_completion_time_none_when_incomplete(self):
+        stats = FlowStats(1)
+        stats.start_time = 2.0
+        assert stats.flow_completion_time is None
+
+    def test_throughput_series_in_mbps(self):
+        stats = FlowStats(1, bin_width=1.0)
+        for i in range(10):
+            stats.record_delivery(0.5, 125_000, is_new=True)  # 1 Mbit each
+        series = stats.throughput_series_mbps(0.0, 0.0)
+        assert series[0] == pytest.approx(10.0)
+
+    def test_summary_keys(self):
+        stats = FlowStats(3)
+        summary = stats.summary(10.0)
+        assert set(summary) == {
+            "flow_id", "throughput_mbps", "goodput_mbps", "loss_rate",
+            "mean_rtt_ms", "retransmissions", "fct",
+        }
+
+    def test_zero_duration_throughput_is_zero(self):
+        stats = FlowStats(1)
+        stats.record_send(0.0, 1500, retransmission=False)
+        assert stats.throughput_bps(0.0) == 0.0
+        assert stats.goodput_bps(-1.0) == 0.0

@@ -1,0 +1,154 @@
+"""Unit tests for topology builders, flows and dynamics."""
+
+import pytest
+
+from repro.netsim import (
+    FlowSpec,
+    LinkConfig,
+    RandomLinkDynamics,
+    ScheduledLinkDynamics,
+    Simulator,
+    bdp_bytes,
+    bulk_flows,
+    dumbbell,
+    incast,
+    incast_burst,
+    poisson_short_flows,
+    single_bottleneck,
+)
+
+
+class TestTopologyBuilders:
+    def test_bdp_bytes(self):
+        assert bdp_bytes(100e6, 0.03) == pytest.approx(375_000.0)
+
+    def test_single_bottleneck_rtt_and_bandwidth(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 42e6, 0.8, buffer_bytes=10_000)
+        assert topo.path.base_rtt == pytest.approx(0.8)
+        assert topo.path.bottleneck_bandwidth_bps == 42e6
+
+    def test_single_bottleneck_reverse_loss_default_zero(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 10e6, 0.03, buffer_bytes=10_000, loss_rate=0.1)
+        assert topo.forward.loss_rate == pytest.approx(0.1)
+        assert topo.reverse.loss_rate == 0.0
+
+    def test_single_bottleneck_reverse_loss_override(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 10e6, 0.03, buffer_bytes=10_000,
+                                 loss_rate=0.1, reverse_loss_rate=0.05)
+        assert topo.reverse.loss_rate == pytest.approx(0.05)
+
+    def test_dumbbell_per_flow_rtt(self):
+        sim = Simulator()
+        config = LinkConfig(bandwidth_bps=100e6, delay=0.005, buffer_bytes=100_000)
+        topo = dumbbell(sim, config, access_delays=[0.005, 0.045])
+        assert topo.paths[0].base_rtt == pytest.approx(0.020)
+        assert topo.paths[1].base_rtt == pytest.approx(0.100)
+
+    def test_dumbbell_flows_share_bottleneck(self):
+        sim = Simulator()
+        config = LinkConfig(bandwidth_bps=100e6, delay=0.005, buffer_bytes=100_000)
+        topo = dumbbell(sim, config, access_delays=[0.001, 0.001, 0.001])
+        bottlenecks = {path.forward_links[-1] for path in topo.paths}
+        assert bottlenecks == {topo.bottleneck_forward}
+
+    def test_incast_topology_fan_in(self):
+        sim = Simulator()
+        topo = incast(sim, num_senders=8, bandwidth_bps=1e9, rtt=0.0004,
+                      buffer_bytes=64_000)
+        assert len(topo.paths) == 8
+        shared = {path.forward_links[-1] for path in topo.paths}
+        assert shared == {topo.shared_link}
+
+    def test_link_config_custom_queue_factory(self):
+        from repro.netsim import InfiniteQueue
+        sim = Simulator()
+        config = LinkConfig(bandwidth_bps=1e6, delay=0.01,
+                            queue_factory=InfiniteQueue)
+        link = config.build(sim)
+        assert isinstance(link.queue, InfiniteQueue)
+
+
+class TestWorkloadGenerators:
+    def test_bulk_flows_stagger(self):
+        flows = bulk_flows("pcc", 4, stagger=10.0)
+        assert [f.start_time for f in flows] == [0.0, 10.0, 20.0, 30.0]
+        assert all(f.size_bytes is None for f in flows)
+        assert [f.path_index for f in flows] == [0, 1, 2, 3]
+
+    def test_incast_burst_jitter_bounded(self):
+        import random
+        flows = incast_burst("cubic", 16, 256_000, jitter=0.001,
+                             rng=random.Random(1))
+        assert len(flows) == 16
+        assert all(0.0 <= f.start_time <= 0.001 for f in flows)
+        assert all(f.size_bytes == 256_000 for f in flows)
+
+    def test_poisson_short_flows_load_matches(self):
+        import random
+        load = 0.5
+        duration = 2000.0
+        flows = poisson_short_flows("cubic", 100_000, load, 15e6, duration,
+                                    rng=random.Random(3))
+        offered_bits = len(flows) * 100_000 * 8
+        offered_load = offered_bits / (15e6 * duration)
+        assert offered_load == pytest.approx(load, rel=0.1)
+
+    def test_poisson_short_flows_invalid_load(self):
+        with pytest.raises(ValueError):
+            poisson_short_flows("cubic", 100_000, 1.5, 15e6, 10.0)
+
+    def test_flow_spec_describe(self):
+        spec = FlowSpec(scheme="pcc", size_bytes=100_000, start_time=1.0)
+        assert "100KB" in spec.describe()
+        assert FlowSpec(scheme="pcc").describe().endswith("size=inf)")
+
+
+class TestDynamics:
+    def test_random_dynamics_redraws_every_period(self):
+        sim = Simulator(seed=9)
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = RandomLinkDynamics(sim, topo.forward, period=5.0,
+                                 reverse_link=topo.reverse)
+        dyn.start()
+        sim.run(26.0)
+        assert len(dyn.history) == 6  # t = 0, 5, 10, 15, 20, 25
+        for _, bw, rtt, loss in dyn.history:
+            assert 10e6 <= bw <= 100e6
+            assert 0.010 <= rtt <= 0.100
+            assert 0.0 <= loss <= 0.01
+
+    def test_optimal_rate_at_lookup(self):
+        sim = Simulator(seed=9)
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = RandomLinkDynamics(sim, topo.forward, period=5.0)
+        dyn.start()
+        sim.run(12.0)
+        assert dyn.optimal_rate_at(2.0) == dyn.history[0][1]
+        assert dyn.optimal_rate_at(7.0) == dyn.history[1][1]
+
+    def test_mean_optimal_rate_time_weighted(self):
+        sim = Simulator(seed=9)
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = RandomLinkDynamics(sim, topo.forward, period=5.0)
+        dyn.start()
+        sim.run(10.0)
+        expected = (dyn.history[0][1] + dyn.history[1][1]) / 2.0
+        assert dyn.mean_optimal_rate(0.0, 10.0) == pytest.approx(expected)
+
+    def test_scheduled_dynamics_applies_schedule(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        schedule = [(1.0, 50e6, None, None), (2.0, None, 0.06, 0.02)]
+        dyn = ScheduledLinkDynamics(sim, topo.forward, schedule,
+                                    reverse_link=topo.reverse)
+        dyn.start()
+        sim.run(0.5)
+        assert topo.forward.bandwidth_bps == 100e6
+        sim.run(1.5)
+        assert topo.forward.bandwidth_bps == 50e6
+        sim.run(2.5)
+        assert topo.forward.delay == pytest.approx(0.03)
+        assert topo.forward.loss_rate == pytest.approx(0.02)
