@@ -4,11 +4,15 @@ Paper: PCC reaches ~90% of capacity with only a 7.5 KB buffer, while TCP Hybla
 (designed for satellite links) manages ~2 Mbps even with a 1 MB buffer (17x
 worse) and Illinois is 54x worse.  The benchmark sweeps the bottleneck buffer
 and asserts PCC's large advantage over every TCP variant.
+
+The buffer x scheme grid is expressed as a :class:`repro.experiments.SweepGrid`
+and fanned out across CPU cores by :func:`repro.experiments.sweep.sweep`.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, print_table, run_once
 
-from repro.experiments import satellite_scenario
+from repro.experiments import SweepGrid
+from repro.experiments.sweep import sweep
 
 SCHEMES = ("pcc", "hybla", "illinois", "cubic")
 BUFFERS = (7_500.0, 1_000_000.0)
@@ -16,13 +20,21 @@ DURATION = 60.0
 
 
 def _sweep():
+    grid = SweepGrid(
+        schemes=SCHEMES,
+        bandwidths_bps=(42e6,),
+        rtts=(0.8,),
+        loss_rates=(0.0074,),
+        buffers_bytes=BUFFERS,
+        duration=DURATION,
+    )
+    result = sweep(grid, base_seed=3, workers=SWEEP_WORKERS)
     rows = []
     for buffer_bytes in BUFFERS:
         row = {"buffer_kb": buffer_bytes / 1e3}
         for scheme in SCHEMES:
-            outcome = satellite_scenario(scheme, buffer_bytes=buffer_bytes,
-                                         duration=DURATION, seed=3)
-            row[scheme] = outcome.goodput_mbps
+            row[scheme] = result.goodput_mbps(scheme=scheme,
+                                              buffer_bytes=buffer_bytes)
         rows.append(row)
     return rows
 

@@ -4,11 +4,15 @@ Paper: PCC needs only a 6-packet buffer to reach 90% of capacity and gets ~25%
 of capacity with a single-packet buffer (35x TCP); CUBIC needs 13x more buffer
 to reach 90% and TCP with pacing still needs 25x more than PCC.  The benchmark
 sweeps the buffer from one packet to one BDP.
+
+The buffer x scheme grid is expressed as a :class:`repro.experiments.SweepGrid`
+and fanned out across CPU cores by :func:`repro.experiments.sweep.sweep`.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, print_table, run_once
 
-from repro.experiments import shallow_buffer_scenario
+from repro.experiments import SweepGrid
+from repro.experiments.sweep import sweep
 
 SCHEMES = ("pcc", "reno_paced", "cubic")
 BUFFERS = (1_500.0, 9_000.0, 45_000.0, 375_000.0)
@@ -16,13 +20,20 @@ DURATION = 15.0
 
 
 def _sweep():
+    grid = SweepGrid(
+        schemes=SCHEMES,
+        bandwidths_bps=(100e6,),
+        rtts=(0.03,),
+        buffers_bytes=BUFFERS,
+        duration=DURATION,
+    )
+    result = sweep(grid, base_seed=5, workers=SWEEP_WORKERS)
     rows = []
     for buffer_bytes in BUFFERS:
         row = {"buffer_kb": buffer_bytes / 1e3}
         for scheme in SCHEMES:
-            outcome = shallow_buffer_scenario(scheme, buffer_bytes=buffer_bytes,
-                                              duration=DURATION, seed=5)
-            row[scheme] = outcome.goodput_mbps
+            row[scheme] = result.goodput_mbps(scheme=scheme,
+                                              buffer_bytes=buffer_bytes)
         rows.append(row)
     return rows
 

@@ -10,9 +10,15 @@ packet-level simulation, not a micro-benchmark.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Sequence
 
 import pytest
+
+#: Worker-process count for sweep-based benchmarks: fan out across cores,
+#: capped so CI runners are not oversubscribed.  Sweep results are identical
+#: for any value (deterministic per-cell seeds).
+SWEEP_WORKERS = min(4, os.cpu_count() or 1)
 
 
 def run_once(benchmark, function: Callable, *args, **kwargs):

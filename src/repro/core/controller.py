@@ -183,7 +183,10 @@ class PCCController:
                 return
             self._starting_decreases = self._starting_decreases + 1 if mild_drop else 0
             if mild_drop:
-                # Keep the better of the two rates as the fallback point.
+                # Keep the better of the two (rate, utility) pairs as the
+                # fallback point, so a later exit reverts to the best rate
+                # seen so far rather than whatever happened to be stored.
+                self._last_start = (previous_rate, previous_utility)
                 return
         self._last_start = (mi.target_rate_bps, utility)
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from ..netsim.engine import Simulator
+from ..netsim.engine import Event, Simulator
 from .metrics import MonitorIntervalStats
 from .utility import SafeUtility, UtilityFunction
 
@@ -63,6 +63,10 @@ class PerformanceMonitor:
         self.mi_rtt_range = mi_rtt_range
         self.completion_timeout_rtts = completion_timeout_rtts
         self._active: Dict[int, MonitorIntervalStats] = {}
+        #: Completion-deadline timer per closed-but-unfinished MI, cancelled on
+        #: normal completion so long runs do not accumulate one dead event per
+        #: MI in the simulator heap.
+        self._deadline_events: Dict[int, Event] = {}
         self._current: Optional[MonitorIntervalStats] = None
         self._next_id = 0
         self._last_completed: Optional[MonitorIntervalStats] = None
@@ -119,7 +123,9 @@ class PerformanceMonitor:
         mi.send_phase_over = True
         # Give feedback one RTT (plus slack) to arrive before forcing completion.
         deadline = self.completion_timeout_rtts * max(rtt_estimate, 1e-4)
-        self.sim.schedule(deadline, self._force_complete, mi.mi_id)
+        self._deadline_events[mi.mi_id] = self.sim.schedule(
+            deadline, self._force_complete, mi.mi_id
+        )
         self._maybe_complete(mi)
 
     # ------------------------------------------------------------------ #
@@ -161,6 +167,11 @@ class PerformanceMonitor:
         mi = self._active.get(mi_id)
         if mi is None:
             return
+        # This deadline event is the one currently firing: discard its handle
+        # so _complete does not cancel() an already-popped event (which would
+        # inflate the simulator's cancelled-backlog counter and trigger
+        # pointless heap compactions).
+        self._deadline_events.pop(mi_id, None)
         mi.force_account_missing_as_lost()
         self._complete(mi)
 
@@ -174,6 +185,9 @@ class PerformanceMonitor:
         mi.completed = True
         mi.complete_time = self.sim.now
         del self._active[mi.mi_id]
+        deadline_event = self._deadline_events.pop(mi.mi_id, None)
+        if deadline_event is not None:
+            deadline_event.cancel()
         mi.utility = self.utility_function(mi, self._last_completed)
         self._last_completed = mi
         if len(self.completed_intervals) < self.max_completed_history:

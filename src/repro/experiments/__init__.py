@@ -27,6 +27,23 @@ from .interdc import PAPER_PAIRS, InterDCPair, run_pair, run_table
 from .incast import run_incast
 from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
 
+#: Lazily re-exported from :mod:`.sweep` (PEP 562) so that running the sweep
+#: CLI as ``python -m repro.experiments.sweep`` does not import the module
+#: twice (once here, once as ``__main__``), which would trigger a runpy
+#: warning and duplicate its module-level state.  The ``sweep()`` *function*
+#: is deliberately not re-exported at package level — ``repro.experiments.sweep``
+#: names the submodule (like ``os.path``); import the function from it:
+#: ``from repro.experiments.sweep import sweep``.
+_SWEEP_EXPORTS = ("SweepCell", "SweepGrid", "SweepResult", "derive_seed")
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(".sweep", __name__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "FlowResult",
     "ScenarioResult",
@@ -59,4 +76,8 @@ __all__ = [
     "Experiment",
     "get_experiment",
     "list_experiments",
+    "SweepCell",
+    "SweepGrid",
+    "SweepResult",
+    "derive_seed",
 ]

@@ -1,0 +1,373 @@
+"""Parallel scenario-grid sweeps.
+
+Every figure in the paper's evaluation (Figs. 5-17) is a *sweep*: the same
+single-bottleneck scenario re-run over a grid of parameters (congestion-control
+scheme x link rate x RTT x loss rate x buffer size x flow count).  This module
+is the one place that fan-out lives:
+
+* :class:`SweepGrid` declares the grid declaratively;
+* :func:`sweep` fans the cells out across CPU cores with
+  :mod:`multiprocessing`, seeding every cell deterministically from
+  ``(base_seed, cell_index)`` via :func:`derive_seed`, so the result is
+  **bit-identical regardless of worker count**;
+* :class:`SweepResult` persists per-cell flow summaries plus engine counters
+  (``events_processed``, simulated seconds) to canonical JSON for trajectory
+  tracking, with per-cell wall times kept out of the canonical payload so two
+  runs of the same grid produce byte-identical files;
+* ``python -m repro.experiments.sweep`` exposes the same machinery as a CLI.
+
+The per-figure benchmarks in ``benchmarks/`` build their grids here instead of
+hand-rolling serial loops over :func:`repro.experiments.run_flows`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..netsim import FlowSpec, Simulator, bdp_bytes, single_bottleneck
+from .runner import run_flows
+
+__all__ = [
+    "SweepCell",
+    "SweepGrid",
+    "SweepResult",
+    "derive_seed",
+    "sweep",
+    "main",
+]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def derive_seed(base_seed: int, cell_index: int) -> int:
+    """Deterministic per-cell seed derived from ``(base_seed, cell_index)``.
+
+    A splitmix64-style finalizer over the two inputs: bit-identical across
+    platforms, Python versions and processes (unlike ``hash()``), and well
+    mixed, so neighbouring cells do not receive correlated random streams.
+    The result is confined to 63 bits so it round-trips through JSON readers
+    that only handle signed 64-bit integers.
+    """
+    z = ((base_seed & _MASK64) ^ 0xA076_1D64_78BD_642F) & _MASK64
+    z = (z + (cell_index & _MASK64) * _GOLDEN + _GOLDEN) & _MASK64
+    z ^= z >> 30
+    z = (z * 0xBF58476D1CE4E5B9) & _MASK64
+    z ^= z >> 27
+    z = (z * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    return z & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass
+class SweepCell:
+    """One fully-resolved point of a sweep grid."""
+
+    index: int
+    scheme: str
+    bandwidth_bps: float
+    rtt: float
+    loss_rate: float
+    buffer_bytes: Optional[float]  # ``None`` means one bandwidth-delay product
+    num_flows: int
+    duration: float
+    seed: int
+    reverse_loss: bool = False
+    stagger: float = 0.0
+    controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved_buffer_bytes(self) -> float:
+        """The concrete bottleneck buffer for this cell (BDP if unspecified)."""
+        if self.buffer_bytes is None:
+            return bdp_bytes(self.bandwidth_bps, self.rtt)
+        return float(self.buffer_bytes)
+
+    def params(self) -> Dict[str, Any]:
+        """The JSON-friendly identity of this cell (everything but results)."""
+        return {
+            "index": self.index,
+            "scheme": self.scheme,
+            "bandwidth_bps": self.bandwidth_bps,
+            "rtt": self.rtt,
+            "loss_rate": self.loss_rate,
+            "buffer_bytes": self.resolved_buffer_bytes(),
+            "num_flows": self.num_flows,
+            "duration": self.duration,
+            "seed": self.seed,
+            "reverse_loss": self.reverse_loss,
+            "stagger": self.stagger,
+        }
+
+
+@dataclass
+class SweepGrid:
+    """A declarative grid of single-bottleneck scenarios.
+
+    Cells are enumerated as the cartesian product in the fixed axis order
+    ``scheme x bandwidth x rtt x loss x buffer x flow count`` (the slowest
+    varying axis first), so cell indices — and therefore the derived per-cell
+    seeds — are a pure function of the grid declaration.
+    """
+
+    schemes: Sequence[str]
+    bandwidths_bps: Sequence[float] = (100e6,)
+    rtts: Sequence[float] = (0.03,)
+    loss_rates: Sequence[float] = (0.0,)
+    buffers_bytes: Sequence[Optional[float]] = (None,)
+    flow_counts: Sequence[int] = (1,)
+    duration: float = 15.0
+    #: Apply the forward loss rate to the reverse (ACK) direction too, as in
+    #: the Figure 7 lossy-link experiment.
+    reverse_loss: bool = False
+    #: Start flow ``i`` at ``i * stagger`` seconds (multi-flow cells).
+    stagger: float = 0.0
+    #: Extra keyword arguments forwarded to every flow's controller.
+    controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("a sweep grid needs at least one scheme")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def cells(self, base_seed: int) -> List[SweepCell]:
+        """Enumerate the grid with deterministic per-cell seeds."""
+        out: List[SweepCell] = []
+        axes = product(
+            self.schemes,
+            self.bandwidths_bps,
+            self.rtts,
+            self.loss_rates,
+            self.buffers_bytes,
+            self.flow_counts,
+        )
+        for index, (scheme, bandwidth, rtt, loss, buffer_bytes, flows) in enumerate(axes):
+            out.append(
+                SweepCell(
+                    index=index,
+                    scheme=scheme,
+                    bandwidth_bps=float(bandwidth),
+                    rtt=float(rtt),
+                    loss_rate=float(loss),
+                    buffer_bytes=buffer_bytes,
+                    num_flows=int(flows),
+                    duration=self.duration,
+                    seed=derive_seed(base_seed, index),
+                    reverse_loss=self.reverse_loss,
+                    stagger=self.stagger,
+                    controller_kwargs=dict(self.controller_kwargs),
+                )
+            )
+        return out
+
+
+def run_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Simulate one sweep cell and return its JSON-friendly outcome.
+
+    The returned dict contains the deterministic payload (cell identity, flow
+    summaries, engine counters) plus the non-deterministic ``wall_time_s``,
+    which :func:`sweep` strips into :attr:`SweepResult.timings` so that the
+    canonical JSON stays byte-identical run to run.
+    """
+    start = time.perf_counter()
+    sim = Simulator(seed=cell.seed)
+    topo = single_bottleneck(
+        sim,
+        bandwidth_bps=cell.bandwidth_bps,
+        rtt=cell.rtt,
+        buffer_bytes=cell.resolved_buffer_bytes(),
+        loss_rate=cell.loss_rate,
+        reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
+    )
+    specs = [
+        FlowSpec(
+            scheme=cell.scheme,
+            start_time=i * cell.stagger,
+            label=f"{cell.scheme}-{i}",
+            controller_kwargs=dict(cell.controller_kwargs),
+        )
+        for i in range(cell.num_flows)
+    ]
+    result = run_flows(sim, [topo.path], specs, duration=cell.duration)
+    wall = time.perf_counter() - start
+    return {
+        "cell": cell.params(),
+        "flows": result.summary_rows(),
+        "engine": {
+            "events_processed": sim.events_processed,
+            "pending_events": sim.pending_events,
+            "simulated_seconds": cell.duration,
+        },
+        "wall_time_s": wall,
+    }
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: deterministic payload plus per-cell wall times."""
+
+    base_seed: int
+    cells: List[Dict[str, Any]]
+    timings: List[float]
+
+    # -- persistence ----------------------------------------------------------
+    def to_json(self, include_timing: bool = False) -> str:
+        """Canonical JSON: sorted keys, fixed layout, byte-identical for the
+        same grid and base seed regardless of worker count.  ``include_timing``
+        adds the (non-deterministic) per-cell wall times for profiling runs."""
+        payload: Dict[str, Any] = {"base_seed": self.base_seed, "cells": self.cells}
+        if include_timing:
+            payload["timing"] = {
+                "wall_time_s": self.timings,
+                "total_wall_time_s": sum(self.timings),
+            }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def write(self, path: str, include_timing: bool = False) -> None:
+        """Persist the sweep to ``path`` (trailing newline for POSIX tools)."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json(include_timing=include_timing))
+            handle.write("\n")
+
+    # -- lookups --------------------------------------------------------------
+    def find(self, **params: Any) -> List[Dict[str, Any]]:
+        """Cells whose identity matches every given ``cell`` parameter."""
+        matches = []
+        for cell in self.cells:
+            identity = cell["cell"]
+            if all(identity.get(key) == value for key, value in params.items()):
+                matches.append(cell)
+        return matches
+
+    def goodput_mbps(self, **params: Any) -> float:
+        """Total goodput (Mbps, summed over flows) of the single matching cell."""
+        matches = self.find(**params)
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} cells match {params!r}, expected exactly 1")
+        return sum(flow["goodput_mbps"] for flow in matches[0]["flows"])
+
+    # -- trajectory metrics ---------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        return sum(cell["engine"]["events_processed"] for cell in self.cells)
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(self.timings)
+
+    def events_per_second(self) -> float:
+        """Aggregate simulator events per wall-clock second across all cells."""
+        wall = self.total_wall_time_s
+        return self.total_events / wall if wall > 0 else 0.0
+
+
+def sweep(
+    grid: SweepGrid,
+    base_seed: int = 0,
+    workers: int = 1,
+) -> SweepResult:
+    """Run every cell of ``grid``, fanning out across ``workers`` processes.
+
+    Results are returned in cell-index order and are bit-identical for any
+    ``workers`` value because each cell owns a private simulator seeded by
+    :func:`derive_seed`; the workers share no random state.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    cells = grid.cells(base_seed)
+    if workers == 1 or len(cells) <= 1:
+        outcomes = [run_cell(cell) for cell in cells]
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
+            outcomes = pool.map(run_cell, cells, chunksize=1)
+    timings = [outcome.pop("wall_time_s") for outcome in outcomes]
+    return SweepResult(base_seed=base_seed, cells=outcomes, timings=timings)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _buffer_value(text: str) -> Optional[float]:
+    """Parse a --buffer-kb operand: a number in kilobytes, or 'bdp'."""
+    if text.lower() == "bdp":
+        return None
+    return float(text) * 1e3
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep",
+        description="Run a scenario-parameter sweep grid across CPU cores.",
+    )
+    parser.add_argument("--schemes", nargs="+", default=["pcc", "cubic"],
+                        help="congestion-control schemes (axis 1)")
+    parser.add_argument("--bandwidth-mbps", nargs="+", type=float, default=[100.0],
+                        help="bottleneck rates in Mbps (axis 2)")
+    parser.add_argument("--rtt-ms", nargs="+", type=float, default=[30.0],
+                        help="round-trip times in ms (axis 3)")
+    parser.add_argument("--loss", nargs="+", type=float, default=[0.0],
+                        help="random loss rates (axis 4)")
+    parser.add_argument("--buffer-kb", nargs="+", type=_buffer_value, default=[None],
+                        metavar="KB|bdp",
+                        help="bottleneck buffers in KB, or 'bdp' (axis 5)")
+    parser.add_argument("--flows", nargs="+", type=int, default=[1],
+                        help="concurrent flow counts (axis 6)")
+    parser.add_argument("--duration", type=float, default=15.0,
+                        help="simulated seconds per cell")
+    parser.add_argument("--stagger", type=float, default=0.0,
+                        help="start flow i at i*stagger seconds")
+    parser.add_argument("--reverse-loss", action="store_true",
+                        help="apply the loss rate to the ACK direction too")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (results identical for any value)")
+    parser.add_argument("--output", default=None,
+                        help="write canonical sweep JSON to this path")
+    parser.add_argument("--timing", action="store_true",
+                        help="include per-cell wall times in the JSON output")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    grid = SweepGrid(
+        schemes=args.schemes,
+        bandwidths_bps=[mbps * 1e6 for mbps in args.bandwidth_mbps],
+        rtts=[ms / 1e3 for ms in args.rtt_ms],
+        loss_rates=args.loss,
+        buffers_bytes=args.buffer_kb,
+        flow_counts=args.flows,
+        duration=args.duration,
+        reverse_loss=args.reverse_loss,
+        stagger=args.stagger,
+    )
+    result = sweep(grid, base_seed=args.seed, workers=args.workers)
+
+    header = f"{'cell':>4}  {'scheme':<12} {'mbps':>7} {'rtt_ms':>7} {'loss':>7} " \
+             f"{'buf_kb':>8} {'flows':>5} {'goodput':>8}"
+    print(header)
+    for cell in result.cells:
+        identity = cell["cell"]
+        goodput = sum(flow["goodput_mbps"] for flow in cell["flows"])
+        print(f"{identity['index']:>4}  {identity['scheme']:<12} "
+              f"{identity['bandwidth_bps'] / 1e6:>7.1f} {identity['rtt'] * 1e3:>7.1f} "
+              f"{identity['loss_rate']:>7.4f} {identity['buffer_bytes'] / 1e3:>8.1f} "
+              f"{identity['num_flows']:>5} {goodput:>8.2f}")
+    print(f"{len(result.cells)} cells, {result.total_events:,} events in "
+          f"{result.total_wall_time_s:.2f} s of simulation work "
+          f"({result.events_per_second():,.0f} events/s)")
+    if args.output:
+        result.write(args.output, include_timing=args.timing)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,21 +33,28 @@ class Event:
     Events are returned by :meth:`Simulator.schedule` so callers can cancel
     them later (for example, a retransmission timer that is no longer needed).
     Cancellation is lazy: the event stays in the heap but is skipped when it
-    reaches the front.
+    reaches the front.  The owning simulator counts its cancelled backlog and
+    compacts the heap once dead events dominate, so heavy cancellation (e.g.
+    per-MI completion timers) cannot inflate heap operations for a whole run.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event so it will not fire."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -78,6 +85,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled_pending = 0
         self._running = False
         self._stopped = False
 
@@ -98,10 +106,27 @@ class Simulator:
             )
         if not math.isfinite(time):
             raise SimulationError("event time must be finite")
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if self._cancelled_pending > 256 and self._cancelled_pending * 2 > len(self._queue):
+            self._compact()
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` to account the lazily-dead backlog."""
+        self._cancelled_pending += 1
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap in place and re-heapify.
+
+        In-place (slice assignment) so that a compaction triggered from inside
+        an event callback is seen by the local heap reference held by
+        :meth:`run` / :meth:`run_until_idle`.
+        """
+        self._queue[:] = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -125,7 +150,11 @@ class Simulator:
                     break
                 heapq.heappop(queue)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
+                # Detach fired events so a late cancel() (a handle cancelled
+                # after firing) cannot inflate the heap-backlog counter.
+                event.sim = None
                 self.now = event.time
                 event.callback(*event.args)
                 self._events_processed += 1
@@ -143,7 +172,9 @@ class Simulator:
                 break
             heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            event.sim = None
             self.now = event.time
             event.callback(*event.args)
             self._events_processed += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from .engine import Simulator
+from .engine import Event, Simulator
 from .packet import Packet
 from .queues import DropTailQueue, QueueDiscipline
 
@@ -67,9 +67,12 @@ class Link:
         Queue discipline holding packets while the link is busy.  Defaults to a
         drop-tail queue sized generously (1 MB).
     loss_rate:
-        Bernoulli probability that a packet is corrupted/lost *after* consuming
-        its serialization time (a transmitted-but-lost model, matching lossy
-        radio/satellite links where the bits are sent but never arrive intact).
+        Bernoulli probability that a packet is corrupted/lost in transit (a
+        transmitted-but-lost model, matching lossy radio/satellite links where
+        the bits are sent but never arrive intact).  A lost packet still
+        occupies the link for its full serialization time but is never
+        delivered; the loss is decided — and counted in :attr:`stats` /
+        reported via :attr:`on_loss` — when the packet begins serialization.
     name:
         Optional human-readable name used in reprs and traces.
     """
@@ -97,7 +100,14 @@ class Link:
         self.queue.on_drop = self._record_queue_drop
         self.name = name
         self.stats = LinkStats()
-        self._busy = False
+        #: Absolute simulated time at which the current serialization ends.
+        self._busy_until = 0.0
+        #: The single chained service-completion event, live only while a
+        #: packet is being serialized *and* more packets are waiting (or one
+        #: arrived mid-serialization).  Packets that find the link idle are
+        #: served inline with no service event at all, so an uncongested link
+        #: costs one event per packet (the delivery) instead of two.
+        self._service_event: Optional[Event] = None
         #: Optional hook invoked for every packet lost on this link (random loss
         #: or queue drop); receives the packet.  Used by per-flow statistics.
         self.on_loss: Optional[Callable[[Packet], None]] = None
@@ -128,37 +138,51 @@ class Link:
     # ------------------------------------------------------------------ #
     def enqueue(self, packet: Packet) -> None:
         """Offer ``packet`` to the link: queue it and start serializing if idle."""
-        accepted = self.queue.enqueue(packet, self.sim.now)
+        now = self.sim.now
+        accepted = self.queue.enqueue(packet, now)
         if not accepted:
             return
-        if not self._busy:
-            self._start_next()
+        if self._service_event is not None:
+            return  # a chained service completion will pick the packet up
+        if now >= self._busy_until:
+            self._serve_next()
+        else:
+            # Arrived mid-serialization with no chain pending: wake the link
+            # when the in-flight packet finishes.
+            self._service_event = self.sim.schedule(
+                self._busy_until - now, self._service_done
+            )
 
     def _record_queue_drop(self, packet: Packet) -> None:
         self.stats.packets_queue_dropped += 1
         if self.on_loss is not None:
             self.on_loss(packet)
 
-    def _start_next(self) -> None:
-        packet = self.queue.dequeue(self.sim.now)
+    def _service_done(self) -> None:
+        self._service_event = None
+        self._serve_next()
+
+    def _serve_next(self) -> None:
+        now = self.sim.now
+        packet = self.queue.dequeue(now)
         if packet is None:
-            self._busy = False
             return
-        self._busy = True
         serialization = packet.size_bytes * 8.0 / self.bandwidth_bps
         self.stats.busy_time += serialization
-        self.sim.schedule(serialization, self._finish_transmission, packet)
-
-    def _finish_transmission(self, packet: Packet) -> None:
+        self._busy_until = now + serialization
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
+        # Chain the next service completion BEFORE invoking the loss hook: a
+        # re-entrant enqueue from on_loss must see either the chain event or a
+        # consistent busy window, never overwrite the handle set below.
+        if self.queue.packets_queued > 0:
+            self._service_event = self.sim.schedule(serialization, self._service_done)
         if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
             self.stats.packets_randomly_lost += 1
             if self.on_loss is not None:
                 self.on_loss(packet)
         else:
-            self.sim.schedule(self.delay, self._deliver, packet)
-        self._start_next()
+            self.sim.schedule(serialization + self.delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         route = packet.route
@@ -172,7 +196,7 @@ class Link:
     @property
     def busy(self) -> bool:
         """Whether the link is currently serializing a packet."""
-        return self._busy
+        return self.sim.now < self._busy_until
 
     def queueing_delay_estimate(self) -> float:
         """Current queue drain time at the present bandwidth (seconds)."""

@@ -49,6 +49,22 @@ class TestStartingState:
         assert controller.state is ControllerState.DECISION
         assert controller.rate_bps == pytest.approx(best_rate)
 
+    def test_single_mild_drop_keeps_better_rate_as_fallback(self):
+        """One mild utility dip keeps doubling, but the fallback point must
+        remain the better (previous) rate so a later exit reverts there."""
+        controller = PCCController(initial_rate_bps=1e6)
+        rate1, purpose1 = controller.next_rate(0.0)
+        controller.on_mi_complete(completed_mi(rate1, 100.0, purpose1))
+        rate2, purpose2 = controller.next_rate(0.1)
+        controller.on_mi_complete(completed_mi(rate2, 90.0, purpose2))  # mild dip
+        assert controller.state is ControllerState.STARTING
+        assert controller._last_start == (rate1, 100.0)
+        # A second consecutive mild decrease exits to the better rate.
+        rate3, purpose3 = controller.next_rate(0.2)
+        controller.on_mi_complete(completed_mi(rate3, 95.0, purpose3))
+        assert controller.state is ControllerState.DECISION
+        assert controller.rate_bps == pytest.approx(rate1)
+
     def test_loss_alone_does_not_exit_starting(self):
         """Unlike TCP slow start, only a utility decrease ends the phase."""
         controller = PCCController(initial_rate_bps=1e6)

@@ -154,6 +154,40 @@ class TestFeedbackAccounting:
         monitor.record_ack(mi_id, 1500, 0.03)
         assert len(completed) == 1
 
+    def test_normal_completion_cancels_deadline_timer(self):
+        """A normally-completed MI must not leave its completion-deadline
+        event live in the simulator heap (one stale timer per MI used to
+        linger for completion_timeout_rtts * rtt each)."""
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim, completion_timeout_rtts=4.0)
+        now = 0.0
+        for _ in range(10):
+            mi_id = monitor.current_mi_id(now, 0.03)
+            monitor.record_send(mi_id, 1500)
+            end = monitor.current_interval.send_end_time
+            sim.run(end + 0.001)
+            now = sim.now
+            monitor.current_mi_id(now, 0.03)  # closes the previous MI
+            monitor.record_ack(mi_id, 1500, 0.03)
+        assert len(completed) == 10
+        assert not monitor._deadline_events
+        # Only lazily-cancelled events may remain; none of them fires.
+        fired = sim.events_processed
+        sim.run(sim.now + 10.0)
+        assert sim.events_processed == fired
+
+    def test_forced_completion_clears_deadline_handle(self):
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim, completion_timeout_rtts=2.0)
+        mi_id = monitor.current_mi_id(0.0, 0.03)
+        monitor.record_send(mi_id, 1500)
+        end = monitor.current_interval.send_end_time
+        sim.run(end + 0.001)
+        monitor.current_mi_id(sim.now, 0.03)
+        sim.run(sim.now + 1.0)  # deadline fires, forcing completion
+        assert len(completed) == 1
+        assert not monitor._deadline_events
+
     def test_completed_history_retained_in_order(self):
         sim = Simulator()
         monitor, _, completed = make_monitor(sim)

@@ -1,0 +1,187 @@
+"""Tests for the parallel scenario-sweep subsystem.
+
+The load-bearing property is determinism: the same grid and base seed must
+produce byte-identical result JSON regardless of how many worker processes
+the sweep fans out across.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepGrid,
+    derive_seed,
+    main,
+    run_cell,
+    sweep,
+)
+from repro.netsim import bdp_bytes
+
+#: A tiny grid that exercises multi-cell fan-out while staying fast: a slow
+#: link and short duration keep the packet counts small.
+def tiny_grid(**overrides):
+    params = dict(
+        schemes=("cubic", "pcc"),
+        bandwidths_bps=(5e6,),
+        rtts=(0.03,),
+        loss_rates=(0.0, 0.01),
+        duration=3.0,
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
+class TestSeedDerivation:
+    def test_pinned_values(self):
+        """The derivation is a cross-platform contract: changing it silently
+        reseeds every persisted sweep, so the exact values are pinned."""
+        assert [derive_seed(0, i) for i in range(3)] == [
+            4870315401550313391,
+            7606563966112757074,
+            9080966467317087633,
+        ]
+        assert derive_seed(7, 0) == 6551058038977729289
+
+    def test_deterministic(self):
+        assert derive_seed(42, 17) == derive_seed(42, 17)
+
+    def test_distinct_across_cells_and_bases(self):
+        seeds = {derive_seed(base, index)
+                 for base in range(20) for index in range(50)}
+        assert len(seeds) == 20 * 50
+
+    def test_json_safe_range(self):
+        for base in (0, 1, 2**63 - 1):
+            for index in (0, 999):
+                assert 0 <= derive_seed(base, index) < 2**63
+
+
+class TestGridEnumeration:
+    def test_cell_order_is_cartesian_product(self):
+        grid = tiny_grid()
+        cells = grid.cells(base_seed=0)
+        assert [(c.scheme, c.loss_rate) for c in cells] == [
+            ("cubic", 0.0), ("cubic", 0.01), ("pcc", 0.0), ("pcc", 0.01),
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        assert [c.seed for c in cells] == [derive_seed(0, i) for i in range(4)]
+
+    def test_default_buffer_resolves_to_bdp(self):
+        cell = tiny_grid().cells(0)[0]
+        assert cell.resolved_buffer_bytes() == bdp_bytes(5e6, 0.03)
+        assert cell.params()["buffer_bytes"] == bdp_bytes(5e6, 0.03)
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(schemes=())
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGrid(schemes=("pcc",), duration=0.0)
+
+
+class TestSweepDeterminism:
+    def test_workers_do_not_change_results(self, tmp_path):
+        """workers=1 and workers=4 must produce byte-identical JSON files."""
+        serial = sweep(tiny_grid(), base_seed=1, workers=1)
+        parallel = sweep(tiny_grid(), base_seed=1, workers=4)
+        assert serial.to_json() == parallel.to_json()
+
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial.write(str(serial_path))
+        parallel.write(str(parallel_path))
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_repeated_runs_identical(self):
+        grid = tiny_grid(schemes=("cubic",), loss_rates=(0.01,))
+        assert sweep(grid, base_seed=3).to_json() == sweep(grid, base_seed=3).to_json()
+
+    def test_different_base_seed_changes_results(self):
+        grid = tiny_grid(schemes=("cubic",), loss_rates=(0.01,))
+        a = sweep(grid, base_seed=1)
+        b = sweep(grid, base_seed=2)
+        assert a.to_json() != b.to_json()
+
+    def test_timing_excluded_from_canonical_json(self):
+        result = sweep(tiny_grid(schemes=("cubic",), loss_rates=(0.0,)), base_seed=0)
+        canonical = json.loads(result.to_json())
+        assert "timing" not in canonical
+        assert all("wall_time_s" not in cell for cell in canonical["cells"])
+        with_timing = json.loads(result.to_json(include_timing=True))
+        assert with_timing["timing"]["wall_time_s"] == result.timings
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(tiny_grid(), workers=0)
+
+
+class TestSweepResults:
+    def test_cell_payload_shape(self):
+        result = sweep(tiny_grid(schemes=("cubic",), loss_rates=(0.0,)), base_seed=0)
+        (cell,) = result.cells
+        assert cell["cell"]["scheme"] == "cubic"
+        assert cell["engine"]["events_processed"] > 0
+        assert cell["engine"]["simulated_seconds"] == 3.0
+        assert len(cell["flows"]) == 1
+        assert cell["flows"][0]["goodput_mbps"] > 1.0  # link mostly utilized
+        assert len(result.timings) == 1 and result.timings[0] > 0.0
+
+    def test_lookup_helpers(self):
+        result = sweep(tiny_grid(), base_seed=1)
+        assert len(result.find(scheme="pcc")) == 2
+        goodput = result.goodput_mbps(scheme="cubic", loss_rate=0.0)
+        assert goodput > 1.0
+        with pytest.raises(KeyError):
+            result.goodput_mbps(scheme="pcc")  # two cells match
+        with pytest.raises(KeyError):
+            result.goodput_mbps(scheme="no-such-scheme")
+
+    def test_multi_flow_cells_summarize_every_flow(self):
+        grid = tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                         flow_counts=(2,), stagger=0.5)
+        result = sweep(grid, base_seed=0)
+        (cell,) = result.cells
+        assert len(cell["flows"]) == 2
+        assert cell["cell"]["num_flows"] == 2
+
+    def test_run_cell_reports_wall_time(self):
+        cell = tiny_grid(schemes=("cubic",), loss_rates=(0.0,)).cells(0)[0]
+        outcome = run_cell(cell)
+        assert outcome["wall_time_s"] > 0.0
+
+
+class TestCli:
+    def test_smoke(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "cubic",
+            "--bandwidth-mbps", "5",
+            "--loss", "0.0", "0.01",
+            "--duration", "2",
+            "--seed", "1",
+            "--workers", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["base_seed"] == 1
+        assert len(payload["cells"]) == 2
+        printed = capsys.readouterr().out
+        assert "events/s" in printed
+        assert str(out) in printed
+
+    def test_buffer_accepts_bdp_and_kb(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "cubic",
+            "--bandwidth-mbps", "5",
+            "--buffer-kb", "bdp", "30",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        cells = json.loads(out.read_text())["cells"]
+        assert cells[0]["cell"]["buffer_bytes"] == bdp_bytes(5e6, 0.03)
+        assert cells[1]["cell"]["buffer_bytes"] == 30_000.0

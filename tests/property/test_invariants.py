@@ -127,15 +127,27 @@ def test_jain_index_equal_allocations_exactly_one(value, n):
 # --------------------------------------------------------------------------- #
 # Utility functions
 # --------------------------------------------------------------------------- #
-def _mi(rate_mbps, loss_fraction, rtt=0.03):
-    mi = MonitorIntervalStats(0, rate_mbps * 1e6, 0.0, 0.1)
-    packets = max(2, int(rate_mbps * 1e6 * 0.1 / 8 / 1500))
+def _mi(rate_mbps, loss_fraction, rtt=0.03, packets=128):
+    """Build a completed MI at ``rate_mbps`` with a realized loss rate of
+    exactly ``round(packets * loss_fraction) / packets``.
+
+    The packet count is shared by every rate and the MI duration is derived
+    from it, so the achieved sending rate equals ``rate_mbps`` exactly and two
+    MIs built with the same ``loss_fraction`` realize the *identical* loss
+    rate.  (Quantizing losses against a rate-dependent packet count — the old
+    ``int(round(packets * loss))`` with ``packets`` proportional to the rate —
+    made the two MIs of the monotonicity property realize different loss
+    rates, e.g. 0/41 vs 1/44, violating its fixed-loss premise.)
+    """
+    rate_bps = rate_mbps * 1e6
+    duration = packets * 1500 * 8.0 / rate_bps
+    mi = MonitorIntervalStats(0, rate_bps, 0.0, duration)
     lost = int(round(packets * loss_fraction))
     for _ in range(packets):
         mi.record_send(1500)
-    ack_spacing = 1500 * 8.0 / (rate_mbps * 1e6)
+    ack_spacing = 1500 * 8.0 / rate_bps
     for i in range(packets - lost):
-        mi.record_ack(1500, rtt, ack_time=0.03 + i * ack_spacing)
+        mi.record_ack(1500, rtt, ack_time=rtt + i * ack_spacing)
     for _ in range(lost):
         mi.record_loss()
     mi.send_phase_over = True
@@ -179,6 +191,20 @@ def test_safe_utility_prefers_higher_rate_under_fixed_low_loss(loss, low, factor
     property that makes PCC immune to random-loss collapse."""
     utility = SafeUtility()
     assert utility(_mi(low * factor, loss)) > utility(_mi(low, loss))
+
+
+def test_safe_utility_regression_former_falsifying_example():
+    """Pin the Hypothesis falsifying example that exposed the quantized-loss
+    bug in the old ``_mi`` helper (loss=0.01171875, low=5.0, factor=1.0625):
+    the two MIs realized 0/41 vs 1/44 loss, so the 'fixed low loss' premise of
+    the §2.2 monotonicity property did not hold.  With a shared packet count
+    both MIs realize 2/128 loss and the true invariant passes."""
+    utility = SafeUtility()
+    loss, low, factor = 0.01171875, 5.0, 1.0625
+    low_mi = _mi(low, loss)
+    high_mi = _mi(low * factor, loss)
+    assert high_mi.loss_rate == low_mi.loss_rate  # identical realized loss
+    assert utility(high_mi) > utility(low_mi)
 
 
 # --------------------------------------------------------------------------- #
