@@ -3,7 +3,7 @@
 Paper: over 510 PlanetLab/GENI pairs, PCC beats TCP CUBIC by 5.52x at the
 median (>= 10x on 41% of pairs), PCP by 4.58x and SABUL by 1.41x at the median.
 Here the pairs are replaced by a synthetic wide-area path sampler (see
-DESIGN.md); the benchmark prints the improvement-ratio distribution and checks
+EXPERIMENTS.md); the benchmark prints the improvement-ratio distribution and checks
 that PCC wins clearly at the median against CUBIC and PCP, and at least
 modestly against SABUL.
 """

@@ -78,6 +78,8 @@ class PCCController:
     ):
         if epsilon_min <= 0 or epsilon_max < epsilon_min:
             raise ValueError("need 0 < epsilon_min <= epsilon_max")
+        if min_rate_bps <= 0 or max_rate_bps < min_rate_bps:
+            raise ValueError("need 0 < min_rate_bps <= max_rate_bps")
         self.epsilon_min = epsilon_min
         self.epsilon_max = epsilon_max
         self.use_rct = use_rct
@@ -252,7 +254,14 @@ class PCCController:
         self._direction = direction
         self._adjust_step = 0
         self.rate_bps = new_rate
-        reference_utility = sum(utilities) / len(utilities) if utilities else 0.0
+        # The first adjusting MI is judged against the same baseline every
+        # later one is: its predecessor's *own* measurement.  Here that
+        # predecessor is the most recent chosen-direction trial (the one sent
+        # at `new_rate`), so seed the baseline with its utility alone.
+        # Averaging in earlier trials' measurements inflates the baseline when
+        # one of them was a lucky outlier and triggers a spurious immediate
+        # reversion (pinned by a regression test).
+        reference_utility = utilities[-1] if utilities else 0.0
         self._last_adjust = (new_rate, reference_utility)
         self.epsilon = self.epsilon_min
 

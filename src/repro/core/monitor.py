@@ -20,9 +20,11 @@ emphasises.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..netsim.engine import Event, Simulator
+from .controller import MIN_RATE_BPS
 from .metrics import MonitorIntervalStats
 from .utility import SafeUtility, UtilityFunction
 
@@ -36,7 +38,7 @@ DEFAULT_MI_RTT_RANGE = (1.7, 2.2)
 #: measured loss rate of a small MI past the safe utility's 5% sigmoid
 #: threshold (with 10 packets one loss reads as 10% loss and flips the utility
 #: sign, which makes low-rate decisions pure noise).  The deviation is recorded
-#: in DESIGN.md / EXPERIMENTS.md and the paper's value remains configurable.
+#: in EXPERIMENTS.md and the paper's value remains configurable.
 DEFAULT_MIN_PACKETS_PER_MI = 25
 
 
@@ -53,6 +55,8 @@ class PerformanceMonitor:
         min_packets_per_mi: int = DEFAULT_MIN_PACKETS_PER_MI,
         mi_rtt_range: Tuple[float, float] = DEFAULT_MI_RTT_RANGE,
         completion_timeout_rtts: float = 4.0,
+        min_rate_bps: float = MIN_RATE_BPS,
+        max_completed_history: int = 100_000,
     ):
         self.sim = sim
         self._rate_provider = rate_provider
@@ -62,6 +66,13 @@ class PerformanceMonitor:
         self.min_packets_per_mi = min_packets_per_mi
         self.mi_rtt_range = mi_rtt_range
         self.completion_timeout_rtts = completion_timeout_rtts
+        if min_rate_bps <= 0:
+            raise ValueError("min_rate_bps must be positive (it divides the "
+                             "MI-duration computation)")
+        #: Floor applied to the rate used for MI-duration sizing.  Defaults to —
+        #: and should be kept equal to — the controller's configured rate floor,
+        #: so that the two layers never disagree about the slowest legal rate.
+        self.min_rate_bps = min_rate_bps
         self._active: Dict[int, MonitorIntervalStats] = {}
         #: Completion-deadline timer per closed-but-unfinished MI, cancelled on
         #: normal completion so long runs do not accumulate one dead event per
@@ -70,10 +81,14 @@ class PerformanceMonitor:
         self._current: Optional[MonitorIntervalStats] = None
         self._next_id = 0
         self._last_completed: Optional[MonitorIntervalStats] = None
-        #: All completed MIs in completion order (kept for analysis/plots).
-        self.completed_intervals: list[MonitorIntervalStats] = []
-        #: Cap on retained completed MIs to bound memory on very long runs.
-        self.max_completed_history = 100_000
+        #: Completed MIs in completion order (kept for analysis/plots).  Bounded:
+        #: once the cap is hit the *oldest* MIs are evicted, so long-run analysis
+        #: always sees the most recent window rather than a truncated prefix.
+        self.completed_intervals: Deque[MonitorIntervalStats] = deque(
+            maxlen=max_completed_history
+        )
+        #: Number of completed MIs evicted from :attr:`completed_intervals`.
+        self.dropped_history = 0
 
     # ------------------------------------------------------------------ #
     # MI lifecycle
@@ -100,7 +115,7 @@ class PerformanceMonitor:
 
     def _open_new(self, now: float, rtt_estimate: float) -> None:
         rate_bps, purpose = self._rate_provider(now)
-        rate_bps = max(rate_bps, 8_000.0)
+        rate_bps = max(rate_bps, self.min_rate_bps)
         min_duration = self.min_packets_per_mi * self.mss * 8.0 / rate_bps
         rtt = max(rtt_estimate, 1e-4)
         random_duration = self.sim.rng.uniform(*self.mi_rtt_range) * rtt
@@ -167,11 +182,9 @@ class PerformanceMonitor:
         mi = self._active.get(mi_id)
         if mi is None:
             return
-        # This deadline event is the one currently firing: discard its handle
-        # so _complete does not cancel() an already-popped event (which would
-        # inflate the simulator's cancelled-backlog counter and trigger
-        # pointless heap compactions).
-        self._deadline_events.pop(mi_id, None)
+        # _complete pops this (currently firing) deadline event's handle and
+        # cancel()s it — a safe no-op, because the engine detaches fired
+        # events before invoking their callbacks.
         mi.force_account_missing_as_lost()
         self._complete(mi)
 
@@ -190,13 +203,24 @@ class PerformanceMonitor:
             deadline_event.cancel()
         mi.utility = self.utility_function(mi, self._last_completed)
         self._last_completed = mi
-        if len(self.completed_intervals) < self.max_completed_history:
-            self.completed_intervals.append(mi)
+        if len(self.completed_intervals) == self.max_completed_history:
+            self.dropped_history += 1
+        self.completed_intervals.append(mi)
         self._on_mi_complete(mi)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def max_completed_history(self) -> int:
+        """Cap on retained completed MIs (the history deque's fixed maxlen).
+
+        Read-only: the bound is set at construction.  A writable attribute
+        here would silently desynchronize from the deque's maxlen and skew
+        :attr:`dropped_history`.
+        """
+        return self.completed_intervals.maxlen
+
     @property
     def current_interval(self) -> Optional[MonitorIntervalStats]:
         """The MI currently being used to tag outgoing packets."""

@@ -82,6 +82,7 @@ class PCCScheme:
             mss=sender.mss,
             min_packets_per_mi=self.min_packets_per_mi,
             mi_rtt_range=self.mi_rtt_range,
+            min_rate_bps=self.controller.min_rate_bps,
         )
 
     def rate_bps(self) -> float:
@@ -137,10 +138,15 @@ class PCCScheme:
 
     @property
     def completed_intervals(self) -> list[MonitorIntervalStats]:
-        """Completed MIs (empty before the flow starts)."""
+        """Completed MIs as a list (empty before the flow starts).
+
+        The monitor keeps a bounded deque of the most recent
+        ``max_completed_history`` MIs; see ``monitor.dropped_history`` for how
+        many older ones were evicted.
+        """
         if self.monitor is None:
             return []
-        return self.monitor.completed_intervals
+        return list(self.monitor.completed_intervals)
 
 
 def make_pcc_sender(

@@ -10,11 +10,13 @@ from .scenarios import (
     fairness_index_over_timescales,
     friendliness_scenario,
     lossy_link_scenario,
+    parking_lot_scenario,
     rtt_unfairness_scenario,
     satellite_scenario,
     shallow_buffer_scenario,
     short_flow_scenario,
     tradeoff_scenario,
+    variable_bandwidth_scenario,
 )
 from .internet import (
     InternetPathConfig,
@@ -34,14 +36,26 @@ from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
 #: is deliberately not re-exported at package level — ``repro.experiments.sweep``
 #: names the submodule (like ``os.path``); import the function from it:
 #: ``from repro.experiments.sweep import sweep``.
-_SWEEP_EXPORTS = ("SweepCell", "SweepGrid", "SweepResult", "derive_seed")
+_SWEEP_EXPORTS = (
+    "SweepCell",
+    "SweepGrid",
+    "SweepResult",
+    "derive_seed",
+    "register_topology",
+    "resolve_topology_kwargs",
+    "topology_names",
+)
 
 
 def __getattr__(name):
-    if name in _SWEEP_EXPORTS:
+    if name == "sweep" or name in _SWEEP_EXPORTS:
         import importlib
 
-        return getattr(importlib.import_module(".sweep", __name__), name)
+        module = importlib.import_module(".sweep", __name__)
+        # "sweep" resolves to the submodule itself (like os.path) even when it
+        # is the first attribute touched; importlib only sets the submodule
+        # attribute as a side effect of the first import.
+        return module if name == "sweep" else getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -57,11 +71,13 @@ __all__ = [
     "fairness_index_over_timescales",
     "friendliness_scenario",
     "lossy_link_scenario",
+    "parking_lot_scenario",
     "rtt_unfairness_scenario",
     "satellite_scenario",
     "shallow_buffer_scenario",
     "short_flow_scenario",
     "tradeoff_scenario",
+    "variable_bandwidth_scenario",
     "InternetPathConfig",
     "improvement_ratios",
     "ratio_cdf",
@@ -80,4 +96,7 @@ __all__ = [
     "SweepGrid",
     "SweepResult",
     "derive_seed",
+    "register_topology",
+    "resolve_topology_kwargs",
+    "topology_names",
 ]

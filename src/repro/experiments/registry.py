@@ -1,6 +1,6 @@
 """Experiment index: every table/figure of the paper mapped to code.
 
-The registry is both documentation (DESIGN.md's per-experiment index in
+The registry is both documentation (EXPERIMENTS.md's per-experiment index in
 machine-readable form) and a convenience for discovering which benchmark file
 regenerates which result.
 """
@@ -117,6 +117,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "repro.experiments.scenarios.extreme_loss_scenario",
             "benchmarks/bench_sec442_extreme_loss.py",
             ("pcc", "cubic"),
+        ),
+        Experiment(
+            "parking_lot", "Multi-bottleneck parking lot with per-hop cross traffic",
+            "4.3",
+            "repro.experiments.scenarios.parking_lot_scenario",
+            "benchmarks/bench_parking_lot.py",
+            ("pcc", "cubic"),
+            "multi-hop inter-DC / RTT-diversity conditions; sweepable via the "
+            "'parking_lot' topology",
+        ),
+        Experiment(
+            "variable_bw", "Trace-driven time-varying bottleneck capacity", "4.1.7",
+            "repro.experiments.scenarios.variable_bandwidth_scenario",
+            "benchmarks/bench_parking_lot.py",
+            ("pcc", "cubic"),
+            "deterministic piecewise traces (step/sawtooth/cellular) complementing "
+            "Figure 11's random re-draws; sweepable via the 'trace_bottleneck' "
+            "topology",
         ),
         Experiment(
             "theorems", "Theorem 1 (equilibrium) and Theorem 2 (dynamics)", "2.2",

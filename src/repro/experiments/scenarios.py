@@ -23,8 +23,11 @@ from ..netsim import (
     LinkConfig,
     RandomLinkDynamics,
     Simulator,
+    TraceLinkDynamics,
     bdp_bytes,
     dumbbell,
+    make_synthetic_trace,
+    parking_lot,
     poisson_short_flows,
     single_bottleneck,
 )
@@ -43,6 +46,8 @@ __all__ = [
     "shallow_buffer_scenario",
     "rtt_unfairness_scenario",
     "dynamic_network_scenario",
+    "parking_lot_scenario",
+    "variable_bandwidth_scenario",
     "convergence_scenario",
     "fairness_index_over_timescales",
     "friendliness_scenario",
@@ -240,6 +245,120 @@ def dynamic_network_scenario(
         "optimal_mbps": optimal_mbps,
         "fraction_of_optimal": (flow.goodput_bps(duration) / 1e6) / optimal_mbps
         if optimal_mbps > 0 else 0.0,
+        "rate_series": flow.stats.rate_series,
+        "dynamics": dynamics,
+        "result": result,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# §4.3 — multi-bottleneck parking lot with per-hop cross traffic
+# --------------------------------------------------------------------------- #
+def parking_lot_scenario(
+    scheme: str,
+    num_hops: int = 3,
+    cross_scheme: Optional[str] = None,
+    bandwidth_bps: float = 30e6,
+    hop_rtt: float = 0.010,
+    duration: float = 30.0,
+    cross_start: float = 0.0,
+    seed: int = 1,
+    **controller_kwargs,
+) -> dict:
+    """One long flow crossing ``num_hops`` bottlenecks against per-hop cross
+    traffic — the paper's multi-hop/RTT-diversity conditions (§4.3).
+
+    The long flow (scheme ``scheme``) traverses every hop; each hop also
+    carries one cross flow (``cross_scheme``, defaulting to the same scheme)
+    that enters just before it and leaves right after.  Returns the long
+    flow's goodput, the per-hop cross goodputs and the long flow's share of
+    its fair allocation (``bandwidth_bps / 2`` with one cross flow per hop).
+    """
+    sim = Simulator(seed=seed)
+    topo = parking_lot(
+        sim,
+        num_hops=num_hops,
+        bandwidth_bps=bandwidth_bps,
+        hop_delay=hop_rtt / 2.0,
+        buffer_bytes=bdp_bytes(bandwidth_bps, num_hops * hop_rtt),
+    )
+    cross = cross_scheme or scheme
+    specs = [
+        FlowSpec(scheme=scheme, path_index=0, label="long",
+                 controller_kwargs=dict(controller_kwargs)),
+    ]
+    for i in range(num_hops):
+        specs.append(
+            FlowSpec(scheme=cross, start_time=cross_start, path_index=1 + i,
+                     label=f"cross-{i}")
+        )
+    result = run_flows(sim, topo.paths, specs, duration=duration)
+    long_mbps = result.by_label("long").goodput_bps(duration) / 1e6
+    cross_mbps = [
+        result.by_label(f"cross-{i}").goodput_bps(duration) / 1e6
+        for i in range(num_hops)
+    ]
+    fair_share_mbps = bandwidth_bps / 2.0 / 1e6
+    return {
+        "scheme": scheme,
+        "cross_scheme": cross,
+        "num_hops": num_hops,
+        "long_mbps": long_mbps,
+        "cross_mbps": cross_mbps,
+        "fair_share_mbps": fair_share_mbps,
+        "long_share_of_fair": long_mbps / fair_share_mbps if fair_share_mbps else 0.0,
+        "result": result,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# §4.1.7 complement — trace-driven time-varying capacity
+# --------------------------------------------------------------------------- #
+def variable_bandwidth_scenario(
+    scheme: str,
+    trace: str = "step",
+    duration: float = 60.0,
+    peak_bandwidth_bps: float = 100e6,
+    rtt: float = 0.03,
+    seed: int = 1,
+    trace_seed: int = 0,
+    **controller_kwargs,
+) -> dict:
+    """A bottleneck whose capacity follows a bundled synthetic trace.
+
+    Complements :func:`dynamic_network_scenario` (which re-draws parameters at
+    random): here the capacity follows the named piecewise-constant trace
+    (``step``, ``sawtooth`` or ``cellular`` — see
+    :func:`repro.netsim.make_synthetic_trace`), so runs are comparable across
+    schemes point by point.  The cellular walk is seeded by ``trace_seed``,
+    deliberately separate from the simulator ``seed``, so varying the latter
+    across schemes keeps the capacity trace identical.  Returns goodput
+    against the time-weighted optimal.
+    """
+    sim = Simulator(seed=seed)
+    topo = single_bottleneck(
+        sim, bandwidth_bps=peak_bandwidth_bps, rtt=rtt,
+        buffer_bytes=bdp_bytes(peak_bandwidth_bps, rtt),
+    )
+    dynamics = TraceLinkDynamics(
+        sim, topo.forward,
+        bandwidth_trace=make_synthetic_trace(
+            trace, peak_bps=peak_bandwidth_bps, duration=duration,
+            seed=trace_seed,
+        ),
+    )
+    dynamics.start()
+    spec = FlowSpec(scheme=scheme, controller_kwargs=controller_kwargs, label=scheme)
+    result = run_flows(sim, [topo.path], [spec], duration=duration)
+    flow = result.flow(0)
+    optimal_mbps = dynamics.mean_optimal_rate(0.0, duration) / 1e6
+    goodput_mbps = flow.goodput_bps(duration) / 1e6
+    return {
+        "scheme": scheme,
+        "trace": trace,
+        "goodput_mbps": goodput_mbps,
+        "optimal_mbps": optimal_mbps,
+        "fraction_of_optimal": goodput_mbps / optimal_mbps if optimal_mbps > 0 else 0.0,
         "rate_series": flow.stats.rate_series,
         "dynamics": dynamics,
         "result": result,

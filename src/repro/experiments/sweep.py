@@ -1,11 +1,14 @@
 """Parallel scenario-grid sweeps.
 
 Every figure in the paper's evaluation (Figs. 5-17) is a *sweep*: the same
-single-bottleneck scenario re-run over a grid of parameters (congestion-control
-scheme x link rate x RTT x loss rate x buffer size x flow count).  This module
-is the one place that fan-out lives:
+scenario re-run over a grid of parameters (congestion-control scheme x link
+rate x RTT x loss rate x buffer size x flow count).  This module is the one
+place that fan-out lives:
 
-* :class:`SweepGrid` declares the grid declaratively;
+* :class:`SweepGrid` declares the grid declaratively; its ``topology`` names a
+  registered **topology builder** (``single_bottleneck`` by default, plus
+  ``parking_lot`` multi-bottleneck chains and ``trace_bottleneck``
+  time-varying links; extendable via :func:`register_topology`);
 * :func:`sweep` fans the cells out across CPU cores with
   :mod:`multiprocessing`, seeding every cell deterministically from
   ``(base_seed, cell_index)`` via :func:`derive_seed`, so the result is
@@ -29,9 +32,20 @@ import sys
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..netsim import FlowSpec, Simulator, bdp_bytes, single_bottleneck
+from ..netsim import (
+    SYNTHETIC_TRACES,
+    FlowSpec,
+    Path,
+    Simulator,
+    TraceLinkDynamics,
+    bdp_bytes,
+    make_synthetic_trace,
+    parking_lot,
+    single_bottleneck,
+    validate_trace_repeat_period,
+)
 from .runner import run_flows
 
 __all__ = [
@@ -39,6 +53,9 @@ __all__ = [
     "SweepGrid",
     "SweepResult",
     "derive_seed",
+    "register_topology",
+    "resolve_topology_kwargs",
+    "topology_names",
     "sweep",
     "main",
 ]
@@ -82,6 +99,12 @@ class SweepCell:
     reverse_loss: bool = False
     stagger: float = 0.0
     controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Name of the registered topology builder that lays out this cell's
+    #: links/paths (see :func:`register_topology`).
+    topology: str = "single_bottleneck"
+    #: Extra JSON-serializable arguments interpreted by the topology builder
+    #: (e.g. ``{"num_hops": 3}`` for ``parking_lot``).
+    topology_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def resolved_buffer_bytes(self) -> float:
         """The concrete bottleneck buffer for this cell (BDP if unspecified)."""
@@ -103,12 +126,212 @@ class SweepCell:
             "seed": self.seed,
             "reverse_loss": self.reverse_loss,
             "stagger": self.stagger,
+            "topology": self.topology,
+            "topology_kwargs": dict(self.topology_kwargs),
         }
+
+
+# --------------------------------------------------------------------------- #
+# Topology builder registry
+# --------------------------------------------------------------------------- #
+#: A topology builder lays a cell's links out inside ``sim`` and returns the
+#: flow paths.  Flow ``i`` of the cell is attached to ``paths[i % len(paths)]``,
+#: so the order paths are returned in is part of the builder's contract.
+TopologyBuilder = Callable[[Simulator, SweepCell], Sequence[Path]]
+
+_TOPOLOGY_BUILDERS: Dict[str, TopologyBuilder] = {}
+_TOPOLOGY_KWARG_DEFAULTS: Dict[str, Dict[str, Any]] = {}
+_TOPOLOGY_SUPPORTS_REVERSE_LOSS: Dict[str, bool] = {}
+#: Optional per-topology validator called as ``validate(grid, resolved_kwargs)``
+#: from :meth:`SweepGrid.__post_init__`, so topology-specific
+#: mis-configurations fail at grid construction, not mid-sweep in a worker.
+_TOPOLOGY_GRID_VALIDATORS: Dict[str, Optional[Callable[["SweepGrid", Dict[str, Any]], None]]] = {}
+
+
+def register_topology(
+    name: str,
+    builder: TopologyBuilder,
+    kwarg_defaults: Optional[Dict[str, Any]] = None,
+    supports_reverse_loss: bool = True,
+    validate_grid: Optional[Callable[["SweepGrid", Dict[str, Any]], None]] = None,
+) -> None:
+    """Register ``builder`` under ``name`` for use as a grid's ``topology``.
+
+    ``kwarg_defaults`` declares every ``topology_kwargs`` key the builder
+    accepts together with its default value.  :meth:`SweepGrid.cells` merges
+    the defaults under the grid's explicit kwargs, so the *resolved* values
+    are recorded in each cell's identity JSON (archived sweeps keep their
+    meaning even if a builder default changes later), and rejects unknown
+    keys at grid construction time.  Builders that do not honor the grid's
+    ``reverse_loss`` flag register with ``supports_reverse_loss=False`` so a
+    grid combining the two is rejected at construction rather than mid-sweep
+    in a worker.
+
+    Builders must be deterministic given ``(sim, cell)``.  Cells cross the
+    process boundary carrying only the topology *name*; each worker resolves
+    it against its own registry.  Under the ``spawn`` start method workers
+    re-import modules from scratch, so custom topologies must be registered
+    at module import time (top level of an imported module), not inside an
+    ``if __name__ == "__main__":`` block or an interactive session —
+    otherwise multi-worker sweeps fail with "unknown topology".
+    """
+    if name in _TOPOLOGY_BUILDERS:
+        raise ValueError(f"topology {name!r} is already registered")
+    _TOPOLOGY_BUILDERS[name] = builder
+    _TOPOLOGY_KWARG_DEFAULTS[name] = dict(kwarg_defaults or {})
+    _TOPOLOGY_SUPPORTS_REVERSE_LOSS[name] = supports_reverse_loss
+    _TOPOLOGY_GRID_VALIDATORS[name] = validate_grid
+
+
+def resolve_topology_kwargs(name: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge ``kwargs`` over the topology's declared defaults, rejecting keys
+    the builder never declared."""
+    _resolve_topology(name)  # raises on unknown topology names
+    defaults = _TOPOLOGY_KWARG_DEFAULTS[name]
+    unknown = set(kwargs) - set(defaults)
+    if unknown:
+        raise ValueError(
+            f"unknown topology_kwargs for {name!r}: {sorted(unknown)}"
+        )
+    return {**defaults, **kwargs}
+
+
+def topology_names() -> List[str]:
+    """All registered topology names, sorted."""
+    return sorted(_TOPOLOGY_BUILDERS)
+
+
+def _resolve_topology(name: str) -> TopologyBuilder:
+    try:
+        return _TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; registered: {', '.join(topology_names())}"
+        ) from None
+
+
+def _build_single_bottleneck(sim: Simulator, cell: SweepCell) -> List[Path]:
+    """One bottleneck link pair; every flow shares the single path."""
+    resolve_topology_kwargs("single_bottleneck", dict(cell.topology_kwargs))
+    topo = single_bottleneck(
+        sim,
+        bandwidth_bps=cell.bandwidth_bps,
+        rtt=cell.rtt,
+        buffer_bytes=cell.resolved_buffer_bytes(),
+        loss_rate=cell.loss_rate,
+        reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
+    )
+    return [topo.path]
+
+
+def _parking_lot_hop_delay(rtt: float, num_hops: int, access_delay: float) -> float:
+    """Per-hop one-way delay for a parking lot whose *long* flow has base RTT
+    ``rtt``.  One shared implementation backs both the grid-construction
+    validator and the worker-side builder, so the two can never disagree."""
+    if num_hops < 1:
+        raise ValueError("a parking lot needs at least one hop")
+    hop_delay = (rtt / 2.0 - access_delay) / num_hops
+    if hop_delay < 1e-5:
+        # Refuse rather than clamp: a clamped hop delay would simulate an
+        # RTT different from the one recorded in the cell identity, turning
+        # an RTT sweep into identical points with different labels.
+        raise ValueError(
+            f"rtt={rtt} is too small for a {num_hops}-hop parking lot "
+            f"with access_delay={access_delay}; need rtt >= "
+            f"{2 * (access_delay + num_hops * 1e-5)}"
+        )
+    return hop_delay
+
+
+def _build_parking_lot(sim: Simulator, cell: SweepCell) -> List[Path]:
+    """A multi-bottleneck chain: path 0 crosses every hop, path ``1 + i`` only
+    hop ``i``.  ``cell.rtt`` is the *long* flow's base RTT; each hop gets an
+    equal share of it, so cross flows are RTT-diverse by construction.  The
+    per-cell ``num_flows`` should normally be ``1 + num_hops`` (one long flow
+    plus one cross flow per hop); fewer flows leave the later hops uncontested.
+    """
+    # Resolve against the registry's declared defaults (the single source of
+    # truth), so a hand-built SweepCell gets the same values a SweepGrid does.
+    kwargs = resolve_topology_kwargs("parking_lot", dict(cell.topology_kwargs))
+    num_hops = int(kwargs["num_hops"])
+    access_delay = float(kwargs["access_delay"])
+    if cell.reverse_loss:
+        # The parking lot builds clean ACK hops; silently recording
+        # reverse_loss=true in the cell identity while not simulating it
+        # would lie to downstream analysis.
+        raise ValueError("reverse_loss is not supported by the parking_lot "
+                         "topology (ACK hops are loss-free)")
+    hop_delay = _parking_lot_hop_delay(cell.rtt, num_hops, access_delay)
+    topo = parking_lot(
+        sim,
+        num_hops=num_hops,
+        bandwidth_bps=cell.bandwidth_bps,
+        hop_delay=hop_delay,
+        buffer_bytes=cell.resolved_buffer_bytes(),
+        loss_rate=cell.loss_rate,
+        access_delay=access_delay,
+    )
+    return topo.paths
+
+
+def _build_trace_bottleneck(sim: Simulator, cell: SweepCell) -> List[Path]:
+    """A single bottleneck whose capacity follows a bundled synthetic trace.
+
+    ``cell.bandwidth_bps`` is the trace's peak rate; the ``trace`` kwarg picks
+    the shape (``step`` / ``sawtooth`` / ``cellular``).  The cellular walk is
+    seeded from the ``trace_seed`` kwarg — *not* the per-cell seed — so cells
+    differing only by scheme face the identical capacity trace and stay
+    comparable point by point (vary ``trace_seed`` for other realizations).
+    """
+    kwargs = resolve_topology_kwargs("trace_bottleneck", dict(cell.topology_kwargs))
+    trace_name = str(kwargs["trace"])
+    repeat_every = kwargs["repeat_every"]
+    topo = single_bottleneck(
+        sim,
+        bandwidth_bps=cell.bandwidth_bps,
+        rtt=cell.rtt,
+        buffer_bytes=cell.resolved_buffer_bytes(),
+        loss_rate=cell.loss_rate,
+        reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
+    )
+    trace = make_synthetic_trace(
+        trace_name, peak_bps=cell.bandwidth_bps, duration=cell.duration,
+        seed=int(kwargs["trace_seed"]),
+    )
+    TraceLinkDynamics(
+        sim, topo.forward, bandwidth_trace=trace, repeat_every=repeat_every,
+    ).start()
+    return [topo.path]
+
+
+def _validate_parking_lot_grid(grid: "SweepGrid", kwargs: Dict[str, Any]) -> None:
+    num_hops = int(kwargs["num_hops"])
+    access_delay = float(kwargs["access_delay"])
+    for rtt in grid.rtts:
+        _parking_lot_hop_delay(float(rtt), num_hops, access_delay)
+
+
+def _validate_trace_bottleneck_grid(grid: "SweepGrid", kwargs: Dict[str, Any]) -> None:
+    # Building the trace validates the name; its entry *times* depend only on
+    # the duration (never the seed), so the repeat_every check holds per cell.
+    trace = make_synthetic_trace(str(kwargs["trace"]), peak_bps=1.0,
+                                 duration=grid.duration)
+    validate_trace_repeat_period(kwargs["repeat_every"], trace)
+
+
+register_topology("single_bottleneck", _build_single_bottleneck)
+register_topology("parking_lot", _build_parking_lot,
+                  {"num_hops": 3, "access_delay": 0.0005},
+                  supports_reverse_loss=False,
+                  validate_grid=_validate_parking_lot_grid)
+register_topology("trace_bottleneck", _build_trace_bottleneck,
+                  {"trace": "step", "repeat_every": None, "trace_seed": 0},
+                  validate_grid=_validate_trace_bottleneck_grid)
 
 
 @dataclass
 class SweepGrid:
-    """A declarative grid of single-bottleneck scenarios.
+    """A declarative grid of scenarios over one named topology.
 
     Cells are enumerated as the cartesian product in the fixed axis order
     ``scheme x bandwidth x rtt x loss x buffer x flow count`` (the slowest
@@ -124,22 +347,42 @@ class SweepGrid:
     flow_counts: Sequence[int] = (1,)
     duration: float = 15.0
     #: Apply the forward loss rate to the reverse (ACK) direction too, as in
-    #: the Figure 7 lossy-link experiment.
+    #: the Figure 7 lossy-link experiment (single-path topologies only).
     reverse_loss: bool = False
     #: Start flow ``i`` at ``i * stagger`` seconds (multi-flow cells).
     stagger: float = 0.0
     #: Extra keyword arguments forwarded to every flow's controller.
     controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Registered topology builder resolved per cell (see
+    #: :func:`register_topology`); every cell of the grid shares one shape.
+    topology: str = "single_bottleneck"
+    #: JSON-serializable arguments interpreted by the topology builder.
+    topology_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.schemes:
             raise ValueError("a sweep grid needs at least one scheme")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        # Fail fast on unknown topology names, undeclared kwargs, or
+        # topology-specific mis-configurations.
+        resolved = resolve_topology_kwargs(self.topology, dict(self.topology_kwargs))
+        if self.reverse_loss and not _TOPOLOGY_SUPPORTS_REVERSE_LOSS[self.topology]:
+            raise ValueError(
+                f"topology {self.topology!r} does not support reverse_loss"
+            )
+        validator = _TOPOLOGY_GRID_VALIDATORS[self.topology]
+        if validator is not None:
+            validator(self, resolved)
 
     def cells(self, base_seed: int) -> List[SweepCell]:
         """Enumerate the grid with deterministic per-cell seeds."""
         out: List[SweepCell] = []
+        # Resolved once (defaults merged in) and copied per cell, so every
+        # recorded cell identity fully specifies what was simulated.
+        resolved_kwargs = resolve_topology_kwargs(
+            self.topology, dict(self.topology_kwargs)
+        )
         axes = product(
             self.schemes,
             self.bandwidths_bps,
@@ -163,6 +406,8 @@ class SweepGrid:
                     reverse_loss=self.reverse_loss,
                     stagger=self.stagger,
                     controller_kwargs=dict(self.controller_kwargs),
+                    topology=self.topology,
+                    topology_kwargs=dict(resolved_kwargs),
                 )
             )
         return out
@@ -171,31 +416,29 @@ class SweepGrid:
 def run_cell(cell: SweepCell) -> Dict[str, Any]:
     """Simulate one sweep cell and return its JSON-friendly outcome.
 
-    The returned dict contains the deterministic payload (cell identity, flow
-    summaries, engine counters) plus the non-deterministic ``wall_time_s``,
-    which :func:`sweep` strips into :attr:`SweepResult.timings` so that the
-    canonical JSON stays byte-identical run to run.
+    The cell's topology builder lays out the links and paths; flow ``i`` is
+    attached to path ``i % len(paths)`` (for ``single_bottleneck`` every flow
+    shares the one path; for ``parking_lot`` flow 0 is the long flow and flow
+    ``1 + i`` the hop-``i`` cross flow).  The returned dict contains the
+    deterministic payload (cell identity, flow summaries, engine counters)
+    plus the non-deterministic ``wall_time_s``, which :func:`sweep` strips
+    into :attr:`SweepResult.timings` so that the canonical JSON stays
+    byte-identical run to run.
     """
     start = time.perf_counter()
     sim = Simulator(seed=cell.seed)
-    topo = single_bottleneck(
-        sim,
-        bandwidth_bps=cell.bandwidth_bps,
-        rtt=cell.rtt,
-        buffer_bytes=cell.resolved_buffer_bytes(),
-        loss_rate=cell.loss_rate,
-        reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
-    )
+    paths = _resolve_topology(cell.topology)(sim, cell)
     specs = [
         FlowSpec(
             scheme=cell.scheme,
             start_time=i * cell.stagger,
+            path_index=i,
             label=f"{cell.scheme}-{i}",
             controller_kwargs=dict(cell.controller_kwargs),
         )
         for i in range(cell.num_flows)
     ]
-    result = run_flows(sim, [topo.path], specs, duration=cell.duration)
+    result = run_flows(sim, paths, specs, duration=cell.duration)
     wall = time.perf_counter() - start
     return {
         "cell": cell.params(),
@@ -317,8 +560,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--buffer-kb", nargs="+", type=_buffer_value, default=[None],
                         metavar="KB|bdp",
                         help="bottleneck buffers in KB, or 'bdp' (axis 5)")
-    parser.add_argument("--flows", nargs="+", type=int, default=[1],
-                        help="concurrent flow counts (axis 6)")
+    parser.add_argument("--flows", nargs="+", type=int, default=None,
+                        help="concurrent flow counts (axis 6); default 1, or "
+                             "1 + hops for parking_lot so every hop carries "
+                             "cross traffic")
+    parser.add_argument("--topology", default="single_bottleneck",
+                        choices=topology_names(),
+                        help="registered topology builder shared by every cell")
+    parser.add_argument("--hops", type=int, default=None,
+                        help="parking_lot only: number of bottleneck hops "
+                             "(flows cycle over the long path then one cross "
+                             "path per hop); default from the topology "
+                             "registry")
+    parser.add_argument("--trace", default=None, choices=SYNTHETIC_TRACES,
+                        help="trace_bottleneck only: bundled bandwidth trace; "
+                             "default from the topology registry")
     parser.add_argument("--duration", type=float, default=15.0,
                         help="simulated seconds per cell")
     parser.add_argument("--stagger", type=float, default=0.0,
@@ -336,20 +592,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    # Fail loudly when a topology-specific flag is given without its topology
+    # (an explicitly-passed flag that got silently ignored would run a
+    # different experiment than the user asked for).
+    if args.hops is not None and args.topology != "parking_lot":
+        parser.error("--hops requires --topology parking_lot")
+    if args.trace is not None and args.topology != "trace_bottleneck":
+        parser.error("--trace requires --topology trace_bottleneck")
+    # Only explicitly-passed flags become topology_kwargs; unset ones resolve
+    # to the registry's declared defaults (the single source of truth).
+    topology_kwargs: Dict[str, Any] = {}
+    if args.hops is not None:
+        topology_kwargs["num_hops"] = args.hops
+    if args.trace is not None:
+        topology_kwargs["trace"] = args.trace
+    resolved_kwargs = resolve_topology_kwargs(args.topology, topology_kwargs)
+    if args.flows is None:
+        # A parking lot with the generic 1-flow default would silently run an
+        # uncontested chain; default to one long flow plus per-hop cross flows.
+        if args.topology == "parking_lot":
+            flows = [1 + int(resolved_kwargs["num_hops"])]
+        else:
+            flows = [1]
+    else:
+        flows = args.flows
     grid = SweepGrid(
         schemes=args.schemes,
         bandwidths_bps=[mbps * 1e6 for mbps in args.bandwidth_mbps],
         rtts=[ms / 1e3 for ms in args.rtt_ms],
         loss_rates=args.loss,
         buffers_bytes=args.buffer_kb,
-        flow_counts=args.flows,
+        flow_counts=flows,
         duration=args.duration,
         reverse_loss=args.reverse_loss,
         stagger=args.stagger,
+        topology=args.topology,
+        topology_kwargs=topology_kwargs,
     )
     result = sweep(grid, base_seed=args.seed, workers=args.workers)
 
+    if args.topology != "single_bottleneck":
+        print(f"topology: {args.topology} {json.dumps(resolved_kwargs, sort_keys=True)}")
     header = f"{'cell':>4}  {'scheme':<12} {'mbps':>7} {'rtt_ms':>7} {'loss':>7} " \
              f"{'buf_kb':>8} {'flows':>5} {'goodput':>8}"
     print(header)

@@ -3,8 +3,8 @@
 This package is the substrate on which the PCC reproduction runs: links with
 finite bandwidth, propagation delay, random loss and configurable queue
 disciplines; routes; ack-clocked and rate-paced senders; and workload
-generators.  See DESIGN.md for the full inventory and the mapping from the
-paper's testbeds to these components.
+generators.  See the repository README for the component inventory and
+EXPERIMENTS.md for the mapping from the paper's testbeds to these components.
 """
 
 from .engine import Event, SimulationError, Simulator
@@ -28,8 +28,25 @@ from .endpoints import (
     connect,
 )
 from .flows import FlowSpec, bulk_flows, incast_burst, poisson_short_flows
-from .topology import LinkConfig, bdp_bytes, dumbbell, incast, single_bottleneck
-from .dynamics import RandomLinkDynamics, ScheduledLinkDynamics
+from .topology import (
+    LinkConfig,
+    bdp_bytes,
+    dumbbell,
+    incast,
+    parking_lot,
+    single_bottleneck,
+)
+from .dynamics import (
+    SYNTHETIC_TRACES,
+    RandomLinkDynamics,
+    ScheduledLinkDynamics,
+    TraceLinkDynamics,
+    cellular_trace,
+    make_synthetic_trace,
+    sawtooth_trace,
+    step_trace,
+    validate_trace_repeat_period,
+)
 
 __all__ = [
     "Event",
@@ -64,7 +81,15 @@ __all__ = [
     "bdp_bytes",
     "dumbbell",
     "incast",
+    "parking_lot",
     "single_bottleneck",
     "RandomLinkDynamics",
     "ScheduledLinkDynamics",
+    "TraceLinkDynamics",
+    "SYNTHETIC_TRACES",
+    "cellular_trace",
+    "make_synthetic_trace",
+    "sawtooth_trace",
+    "step_trace",
+    "validate_trace_repeat_period",
 ]

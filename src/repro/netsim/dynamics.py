@@ -4,24 +4,106 @@ Figure 11 of the paper evaluates a "rapidly changing network": every 5 seconds
 the available bandwidth, latency and loss rate of the path are re-drawn from
 uniform distributions.  :class:`RandomLinkDynamics` reproduces that process on
 a simulated link; :class:`ScheduledLinkDynamics` applies an explicit schedule
-(useful for tests and for the Table 1 rate-limiter scenario).
+(useful for tests and for the Table 1 rate-limiter scenario); and
+:class:`TraceLinkDynamics` drives bandwidth (and optionally loss) from a
+piecewise-constant ``(time, value)`` trace, with a few bundled synthetic
+traces (:func:`step_trace`, :func:`sawtooth_trace`, :func:`cellular_trace`) so
+time-varying-capacity scenarios are one import away.
 
-Both record the applied values so experiments can plot "optimal" (the actual
-available bandwidth over time) against each protocol's chosen rate, exactly as
-the paper's Figure 11 does.
+All of them record the applied values so experiments can plot "optimal" (the
+actual available bandwidth over time) against each protocol's chosen rate,
+exactly as the paper's Figure 11 does.
 """
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional, Sequence, Tuple
 
 from .engine import Simulator
 from .link import Link
 
-__all__ = ["RandomLinkDynamics", "ScheduledLinkDynamics"]
+__all__ = [
+    "RandomLinkDynamics",
+    "ScheduledLinkDynamics",
+    "TraceLinkDynamics",
+    "step_trace",
+    "sawtooth_trace",
+    "cellular_trace",
+    "make_synthetic_trace",
+    "validate_trace_repeat_period",
+    "SYNTHETIC_TRACES",
+]
 
 
-class RandomLinkDynamics:
+def validate_trace_repeat_period(
+    repeat_every: Optional[float],
+    *traces: Sequence[Tuple[float, float]],
+) -> None:
+    """Reject a repeat period that does not cover the whole trace span.
+
+    Each trace entry independently reschedules itself every ``repeat_every``
+    seconds, so a period not exceeding the last entry time would interleave
+    replay cycles with the original trace's tail instead of replaying the
+    trace as a unit.  Shared by :class:`TraceLinkDynamics` and the sweep
+    grid's construction-time validator so the two can never disagree.
+    """
+    if repeat_every is None:
+        return
+    last_entry = max(
+        (t for trace in traces for t, _ in (trace or [])), default=0.0
+    )
+    if repeat_every <= last_entry:
+        raise ValueError(
+            f"repeat_every={repeat_every} must exceed the last trace entry "
+            f"time ({last_entry})"
+        )
+
+
+class _OptimalRateHistory:
+    """Shared "what was the available bandwidth at time t" helpers.
+
+    Subclasses append ``(applied_at, bandwidth_bps, rtt, loss_rate)`` tuples to
+    :attr:`history` in time order, expose the driven link as :attr:`link`, and
+    record the link's pre-dynamics bandwidth as :attr:`_initial_bandwidth_bps`
+    at construction, so that queries before the first applied entry report the
+    bandwidth that was actually in force (the link's configured rate), not the
+    not-yet-applied first entry.
+    """
+
+    link: Link
+    history: List[Tuple[float, float, float, float]]
+    _initial_bandwidth_bps: float
+
+    def optimal_rate_at(self, time: float) -> float:
+        """The available bandwidth (bps) that was in force at ``time``."""
+        rate = self._initial_bandwidth_bps
+        for applied_at, bandwidth, _rtt, _loss in self.history:
+            if applied_at <= time:
+                rate = bandwidth
+            else:
+                break
+        return rate
+
+    def mean_optimal_rate(self, start: float, end: float) -> float:
+        """Time-weighted mean available bandwidth between ``start`` and ``end``."""
+        if end <= start:
+            return self.link.bandwidth_bps
+        total = 0.0
+        current = self._initial_bandwidth_bps
+        segment_start = start
+        for applied_at, bandwidth, _rtt, _loss in self.history:
+            if applied_at >= end:
+                break
+            if applied_at > segment_start:
+                total += current * (applied_at - segment_start)
+                segment_start = applied_at
+            current = bandwidth
+        total += current * (end - segment_start)
+        return total / (end - start)
+
+
+class RandomLinkDynamics(_OptimalRateHistory):
     """Re-draw link bandwidth / delay / loss every ``period`` seconds.
 
     Parameters mirror §4.1.7: bandwidth uniform in [10, 100] Mbps, one-way delay
@@ -41,6 +123,7 @@ class RandomLinkDynamics:
     ):
         self.sim = sim
         self.link = link
+        self._initial_bandwidth_bps = link.bandwidth_bps
         self.reverse_link = reverse_link
         self.period = period
         self.bandwidth_range_bps = bandwidth_range_bps
@@ -76,32 +159,8 @@ class RandomLinkDynamics:
         self.history.append((self.sim.now, bandwidth, rtt, loss))
         self.sim.schedule(self.period, self._apply)
 
-    def optimal_rate_at(self, time: float) -> float:
-        """The available bandwidth (bps) that was in force at ``time``."""
-        rate = self.history[0][1] if self.history else self.link.bandwidth_bps
-        for applied_at, bandwidth, _rtt, _loss in self.history:
-            if applied_at <= time:
-                rate = bandwidth
-            else:
-                break
-        return rate
 
-    def mean_optimal_rate(self, start: float, end: float) -> float:
-        """Time-weighted mean available bandwidth between ``start`` and ``end``."""
-        if end <= start or not self.history:
-            return self.link.bandwidth_bps
-        total = 0.0
-        events = [h for h in self.history if h[0] < end]
-        for i, (applied_at, bandwidth, _rtt, _loss) in enumerate(events):
-            seg_start = max(applied_at, start)
-            seg_end = events[i + 1][0] if i + 1 < len(events) else end
-            seg_end = min(seg_end, end)
-            if seg_end > seg_start:
-                total += bandwidth * (seg_end - seg_start)
-        return total / (end - start)
-
-
-class ScheduledLinkDynamics:
+class ScheduledLinkDynamics(_OptimalRateHistory):
     """Apply an explicit (time, bandwidth_bps, rtt, loss_rate) schedule to a link.
 
     Entries with ``None`` leave the corresponding parameter unchanged.
@@ -116,6 +175,7 @@ class ScheduledLinkDynamics:
     ):
         self.sim = sim
         self.link = link
+        self._initial_bandwidth_bps = link.bandwidth_bps
         self.reverse_link = reverse_link
         self.schedule = sorted(schedule, key=lambda entry: entry[0])
         self.history: List[Tuple[float, float, float, float]] = []
@@ -139,3 +199,172 @@ class ScheduledLinkDynamics:
             (self.sim.now, self.link.bandwidth_bps, self.link.delay * 2.0,
              self.link.loss_rate)
         )
+
+
+class TraceLinkDynamics(_OptimalRateHistory):
+    """Drive a link's bandwidth (and optionally loss) from a piecewise trace.
+
+    ``bandwidth_trace`` and ``loss_trace`` are sequences of ``(time, value)``
+    pairs; each value takes effect at its time and holds until the next entry
+    (piecewise-constant, like a cellular or rate-limiter capacity trace).  With
+    ``repeat_every`` set, the whole trace replays shifted by that period, so a
+    short synthetic trace can cover an arbitrarily long run.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        bandwidth_trace: Optional[Sequence[Tuple[float, float]]] = None,
+        loss_trace: Optional[Sequence[Tuple[float, float]]] = None,
+        repeat_every: Optional[float] = None,
+        reverse_link: Optional[Link] = None,
+    ):
+        if not bandwidth_trace and not loss_trace:
+            raise ValueError("need a bandwidth trace and/or a loss trace")
+        validate_trace_repeat_period(repeat_every, bandwidth_trace or [],
+                                     loss_trace or [])
+        self.sim = sim
+        self.link = link
+        self._initial_bandwidth_bps = link.bandwidth_bps
+        self.reverse_link = reverse_link
+        self.bandwidth_trace = sorted(bandwidth_trace or [], key=lambda e: e[0])
+        self.loss_trace = sorted(loss_trace or [], key=lambda e: e[0])
+        self.repeat_every = repeat_every
+        self.history: List[Tuple[float, float, float, float]] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule every trace entry (the first replay cycle, if repeating)."""
+        if self._started:
+            return
+        self._started = True
+        for time, bandwidth in self.bandwidth_trace:
+            self.sim.schedule_at(time, self._apply_bandwidth, bandwidth)
+        for time, loss in self.loss_trace:
+            self.sim.schedule_at(time, self._apply_loss, loss)
+
+    def _record(self) -> None:
+        self.history.append(
+            (self.sim.now, self.link.bandwidth_bps, self.link.delay * 2.0,
+             self.link.loss_rate)
+        )
+
+    def _apply_bandwidth(self, bandwidth: float) -> None:
+        self.link.set_bandwidth(bandwidth)
+        self._record()
+        if self.repeat_every is not None:
+            self.sim.schedule(self.repeat_every, self._apply_bandwidth, bandwidth)
+
+    def _apply_loss(self, loss: float) -> None:
+        self.link.set_loss_rate(loss)
+        if self.reverse_link is not None:
+            self.reverse_link.set_loss_rate(loss)
+        self._record()
+        if self.repeat_every is not None:
+            self.sim.schedule(self.repeat_every, self._apply_loss, loss)
+
+
+# --------------------------------------------------------------------------- #
+# Bundled synthetic traces
+# --------------------------------------------------------------------------- #
+#: Names accepted by :func:`make_synthetic_trace`.
+SYNTHETIC_TRACES = ("step", "sawtooth", "cellular")
+
+
+def step_trace(
+    low_bps: float,
+    high_bps: float,
+    period: float,
+    duration: float,
+) -> List[Tuple[float, float]]:
+    """A square wave: ``high_bps`` and ``low_bps`` alternating every ``period``."""
+    if period <= 0 or duration <= 0:
+        raise ValueError("period and duration must be positive")
+    trace: List[Tuple[float, float]] = []
+    time, high = 0.0, True
+    while time < duration:
+        trace.append((time, high_bps if high else low_bps))
+        time += period
+        high = not high
+    return trace
+
+
+def sawtooth_trace(
+    low_bps: float,
+    high_bps: float,
+    period: float,
+    duration: float,
+    steps: int = 8,
+) -> List[Tuple[float, float]]:
+    """A sawtooth: ramp from ``low_bps`` to ``high_bps`` in ``steps`` increments
+    over each ``period``, then drop back and ramp again."""
+    if period <= 0 or duration <= 0:
+        raise ValueError("period and duration must be positive")
+    if steps < 2:
+        raise ValueError("a sawtooth needs at least 2 steps")
+    trace: List[Tuple[float, float]] = []
+    cycle_start = 0.0
+    while cycle_start < duration:
+        for i in range(steps):
+            time = cycle_start + i * period / steps
+            if time >= duration:
+                break
+            trace.append((time, low_bps + (high_bps - low_bps) * i / (steps - 1)))
+        cycle_start += period
+    return trace
+
+
+def cellular_trace(
+    mean_bps: float,
+    duration: float,
+    step: float = 0.5,
+    spread: float = 0.25,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """A cellular-like capacity trace: a bounded multiplicative random walk.
+
+    Every ``step`` seconds the rate is multiplied by a factor drawn uniformly
+    from ``[1 - spread, 1 + spread]`` and clamped to ``[mean_bps / 5,
+    2 * mean_bps]`` — the bursty, mean-reverting shape of an LTE downlink.
+    The walk uses its own :class:`random.Random` seeded with ``seed``, so a
+    trace is a pure function of its arguments (simulator RNG draws are not
+    consumed, which keeps sweep cells deterministic).
+    """
+    if step <= 0 or duration <= 0:
+        raise ValueError("step and duration must be positive")
+    if not 0.0 < spread < 1.0:
+        raise ValueError("spread must be in (0, 1)")
+    rng = random.Random(seed)
+    trace: List[Tuple[float, float]] = []
+    rate = mean_bps
+    time = 0.0
+    while time < duration:
+        trace.append((time, rate))
+        rate *= rng.uniform(1.0 - spread, 1.0 + spread)
+        rate = min(max(rate, mean_bps / 5.0), 2.0 * mean_bps)
+        time += step
+    return trace
+
+
+def make_synthetic_trace(
+    name: str,
+    peak_bps: float,
+    duration: float,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """One of the bundled bandwidth traces, scaled to ``peak_bps``.
+
+    ``"step"`` toggles between the peak and a quarter of it every eighth of the
+    run; ``"sawtooth"`` ramps a quarter-to-peak cycle four times; ``"cellular"``
+    walks around half the peak (``seed`` only affects this one).
+    """
+    if name == "step":
+        return step_trace(peak_bps / 4.0, peak_bps, duration / 8.0, duration)
+    if name == "sawtooth":
+        return sawtooth_trace(peak_bps / 4.0, peak_bps, duration / 4.0, duration)
+    if name == "cellular":
+        return cellular_trace(peak_bps / 2.0, duration, seed=seed)
+    raise ValueError(
+        f"unknown trace {name!r}; bundled traces: {', '.join(SYNTHETIC_TRACES)}"
+    )

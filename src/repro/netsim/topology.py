@@ -6,7 +6,10 @@ Every scenario in Section 4 reduces to one of a few shapes:
   inter-data-center, wild-Internet pairs);
 * a **dumbbell**: several sender/receiver pairs whose access links feed one
   shared bottleneck (convergence, fairness, RTT-unfairness, friendliness);
-* an **incast** fan-in: many senders, one receiver, one shared last-hop link.
+* an **incast** fan-in: many senders, one receiver, one shared last-hop link;
+* a **parking lot**: N bottleneck hops in series, one long flow traversing all
+  of them plus per-hop cross traffic (multi-hop inter-DC paths and the
+  RTT-diversity conditions of §4.3).
 
 The builders here create the links and :class:`~repro.netsim.route.Path`
 objects; attaching senders/receivers and congestion controllers is done by
@@ -16,7 +19,7 @@ objects; attaching senders/receivers and congestion controllers is done by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .engine import Simulator
 from .link import Link
@@ -28,6 +31,7 @@ __all__ = [
     "single_bottleneck",
     "dumbbell",
     "incast",
+    "parking_lot",
     "bdp_bytes",
 ]
 
@@ -219,4 +223,99 @@ def incast(
         )
         topo.reverse_links.append(reverse)
         topo.paths.append(Path([access, shared], [reverse]))
+    return topo
+
+
+@dataclass
+class ParkingLot:
+    """A parking-lot chain: N bottleneck hops in series with per-hop cross traffic.
+
+    ``paths[0]`` is the long flow's path (all hops); ``paths[1 + i]`` is the
+    cross path that enters just before hop ``i`` and exits right after it.
+    """
+
+    hops: List[Link] = field(default_factory=list)
+    reverse_hops: List[Link] = field(default_factory=list)
+    access_forward: List[Link] = field(default_factory=list)
+    access_reverse: List[Link] = field(default_factory=list)
+    long_path: Optional[Path] = None
+    cross_paths: List[Path] = field(default_factory=list)
+
+    @property
+    def paths(self) -> List[Path]:
+        """All paths, long flow first — the order sweeps assign flows in."""
+        return [self.long_path] + self.cross_paths
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+
+def parking_lot(
+    sim: Simulator,
+    num_hops: int,
+    bandwidth_bps: float,
+    hop_delay: float,
+    buffer_bytes: float,
+    loss_rate: float = 0.0,
+    access_delay: float = 0.0005,
+    access_bandwidth_bps: Optional[float] = None,
+    queue_factory: Optional[Callable[[], QueueDiscipline]] = None,
+) -> ParkingLot:
+    """Build a multi-bottleneck parking-lot chain.
+
+    ``num_hops`` bottleneck links (each ``bandwidth_bps`` / ``hop_delay`` /
+    ``buffer_bytes``, optional random ``loss_rate``) are wired in series.  The
+    long flow enters through its own access link, crosses every hop, and its
+    ACKs return over a mirrored chain of reverse hops; cross flow ``i`` enters
+    through a private access link, shares only hop ``i``, and returns over
+    reverse hop ``i``.  Base RTTs are therefore RTT-diverse by construction:
+    ``2 * (access_delay + num_hops * hop_delay)`` for the long flow versus
+    ``2 * (access_delay + hop_delay)`` for each cross flow.
+    """
+    if num_hops < 1:
+        raise ValueError("a parking lot needs at least one hop")
+    access_bw = access_bandwidth_bps or bandwidth_bps * 10.0
+    topo = ParkingLot()
+    for i in range(num_hops):
+        forward_cfg = LinkConfig(
+            bandwidth_bps=bandwidth_bps,
+            delay=hop_delay,
+            loss_rate=loss_rate,
+            buffer_bytes=buffer_bytes,
+            queue_factory=queue_factory,
+            name=f"hop-fwd-{i}",
+        )
+        topo.hops.append(forward_cfg.build(sim))
+        # Mirrored ACK hop: same rate/delay, generous clean buffer — none of
+        # the paper's multi-hop experiments congest the reverse direction.
+        topo.reverse_hops.append(
+            Link(
+                sim,
+                bandwidth_bps=bandwidth_bps,
+                delay=hop_delay,
+                queue=DropTailQueue(max(buffer_bytes, 3_000_000.0)),
+                name=f"hop-rev-{i}",
+            )
+        )
+
+    def access_pair(label: str) -> Tuple[Link, Link]:
+        fwd = Link(sim, bandwidth_bps=access_bw, delay=access_delay,
+                   queue=DropTailQueue(3_000_000.0), name=f"access-fwd-{label}")
+        rev = Link(sim, bandwidth_bps=access_bw, delay=access_delay,
+                   queue=DropTailQueue(3_000_000.0), name=f"access-rev-{label}")
+        topo.access_forward.append(fwd)
+        topo.access_reverse.append(rev)
+        return fwd, rev
+
+    long_fwd, long_rev = access_pair("long")
+    topo.long_path = Path(
+        [long_fwd] + topo.hops,
+        list(reversed(topo.reverse_hops)) + [long_rev],
+    )
+    for i in range(num_hops):
+        cross_fwd, cross_rev = access_pair(f"cross-{i}")
+        topo.cross_paths.append(
+            Path([cross_fwd, topo.hops[i]], [topo.reverse_hops[i], cross_rev])
+        )
     return topo

@@ -172,6 +172,65 @@ class TestDecisionState:
         controller.on_mi_complete(empty)
         assert len(controller._trial_plan) == plan_before + 1
 
+    def test_requeued_empty_trial_still_concludes_decision(self):
+        """A decision whose trial came back empty must conclude once the
+        re-issued trial (same index/sign) finally reports a utility."""
+        controller = self.make_decision_controller()
+        rate, purpose = controller.next_rate(0.0)
+        empty = MonitorIntervalStats(0, rate, 0.0, 0.1, purpose=purpose)
+        empty.send_phase_over = True
+        empty.completed = True
+        empty.utility = 0.0
+        controller.on_mi_complete(empty)
+        # Drain the remaining three planned trials plus the re-queued one.
+        trials = [controller.next_rate((i + 1) * 0.1) for i in range(4)]
+        reissued = [p for _, p in trials if p.trial_index == purpose.trial_index]
+        assert [p.sign for p in reissued] == [purpose.sign]
+        for trial_rate, trial_purpose in trials:
+            utility = 10.0 if trial_purpose.sign > 0 else 5.0
+            controller.on_mi_complete(
+                completed_mi(trial_rate, utility, trial_purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller.decisions == 1
+
+    def test_empty_wait_mi_is_a_noop(self):
+        controller = self.make_decision_controller()
+        for i in range(4):
+            controller.next_rate(i * 0.1)  # consume the whole trial plan
+        rate, purpose = controller.next_rate(0.5)
+        assert purpose.kind == "wait"
+        empty = MonitorIntervalStats(0, rate, 0.5, 0.6, purpose=purpose)
+        empty.send_phase_over = True
+        empty.completed = True
+        empty.utility = 0.0
+        controller.on_mi_complete(empty)
+        assert controller.state is ControllerState.DECISION
+        assert controller._trial_plan == []
+
+    def test_stale_epoch_adjust_result_ignored_after_reversion(self):
+        """An adjust MI that reports after its epoch was abandoned (the
+        controller already reverted to the decision state) must not trigger a
+        second reversion or touch the restored rate."""
+        controller = self.make_decision_controller()
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            utility = 10.0 if purpose.sign > 0 else 5.0
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        r1, p1 = controller.next_rate(1.0)
+        r2, p2 = controller.next_rate(1.1)
+        controller.on_mi_complete(completed_mi(r1, 50.0, p1))
+        controller.on_mi_complete(completed_mi(r2, 10.0, p2))  # reverts
+        assert controller.state is ControllerState.DECISION
+        restored_rate = controller.rate_bps
+        reversions = controller.reversions
+        # A third adjust MI was already in flight when the reversion happened.
+        stale = MIPurpose(kind="adjust", epoch=p2.epoch, sign=1, step=3)
+        controller.on_mi_complete(completed_mi(r2 * 1.03, 0.5, stale))
+        assert controller.state is ControllerState.DECISION
+        assert controller.rate_bps == pytest.approx(restored_rate)
+        assert controller.reversions == reversions
+
 
 class TestAdjustingState:
     def make_adjusting_controller(self, direction=1):
@@ -220,6 +279,66 @@ class TestAdjustingState:
             controller.on_mi_complete(completed_mi(rate, 50.0 + step, purpose))
         assert controller.state is ControllerState.ADJUSTING
 
+    def test_empty_adjust_mi_is_a_noop(self):
+        """An adjusting MI in which nothing was sent carries no information:
+        it must neither revert nor advance the baseline."""
+        controller = self.make_adjusting_controller(direction=1)
+        baseline = controller._last_adjust
+        rate, purpose = controller.next_rate(1.0)
+        empty = MonitorIntervalStats(0, rate, 1.0, 1.1, purpose=purpose)
+        empty.send_phase_over = True
+        empty.completed = True
+        empty.utility = 0.0
+        controller.on_mi_complete(empty)
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller.reversions == 0
+        assert controller._last_adjust == baseline
+
+    def make_adjusting_controller_with_utilities(self, early, late, other=3.0):
+        """Enter the adjusting state (direction +1) with the chosen-direction
+        trials measuring ``early`` (first pair) and ``late`` (second pair)."""
+        controller = PCCController(initial_rate_bps=8e6)
+        controller.attach_rng(random.Random(0))
+        drive_starting_exit(controller)
+        trials = [controller.next_rate(i * 0.1) for i in range(4)]
+        for rate, purpose in trials:
+            if purpose.sign > 0:
+                utility = early if purpose.trial_index < 2 else late
+            else:
+                utility = other
+            controller.on_mi_complete(completed_mi(rate, utility, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller._direction == 1
+        return controller
+
+    def test_baseline_seeded_from_chosen_direction_trial(self):
+        """The adjusting baseline is the most recent chosen-direction trial's
+        own measurement, not an average over the trial pairs."""
+        controller = self.make_adjusting_controller_with_utilities(10.0, 4.0)
+        assert controller._last_adjust == (controller.rate_bps, 4.0)
+
+    def test_no_spurious_reversion_from_averaged_trial_baseline(self):
+        """Regression: with chosen-direction trials measuring 10.0 then 4.0,
+        the old code seeded the baseline with their mean (7.0), so a first
+        adjusting MI measuring 5.0 — an *improvement* over the direction's own
+        latest measurement — triggered an immediate spurious reversion."""
+        controller = self.make_adjusting_controller_with_utilities(10.0, 4.0)
+        rate, purpose = controller.next_rate(1.0)
+        controller.on_mi_complete(completed_mi(rate, 5.0, purpose))
+        assert controller.state is ControllerState.ADJUSTING
+        assert controller.reversions == 0
+
+    def test_genuine_drop_still_reverts_on_first_adjust_mi(self):
+        """A first adjusting MI below the chosen-direction trial's own
+        measurement still reverts immediately."""
+        controller = self.make_adjusting_controller_with_utilities(10.0, 4.0)
+        revert_rate = controller.rate_bps
+        rate, purpose = controller.next_rate(1.0)
+        controller.on_mi_complete(completed_mi(rate, 3.0, purpose))
+        assert controller.state is ControllerState.DECISION
+        assert controller.reversions == 1
+        assert controller.rate_bps == pytest.approx(revert_rate)
+
 
 class TestGuards:
     def test_rate_clamped_to_bounds(self):
@@ -236,3 +355,11 @@ class TestGuards:
             PCCController(epsilon_min=0.0)
         with pytest.raises(ValueError):
             PCCController(epsilon_min=0.05, epsilon_max=0.01)
+
+    def test_invalid_rate_bounds_rejected(self):
+        """The rate floor divides the monitor's MI-duration computation, so a
+        non-positive floor (or inverted bounds) must be rejected up front."""
+        with pytest.raises(ValueError):
+            PCCController(min_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            PCCController(min_rate_bps=1e6, max_rate_bps=1e3)

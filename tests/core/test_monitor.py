@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.controller import MIN_RATE_BPS
 from repro.core.metrics import MonitorIntervalStats
 from repro.core.monitor import PerformanceMonitor
 from repro.core.utility import SafeUtility
@@ -82,6 +83,32 @@ class TestMILifecycle:
         monitor.current_mi_id(0.0, 0.03)
         mi = monitor.current_interval
         assert mi.send_end_time - mi.start_time >= 10 * 1500 * 8 / 1e6 - 1e-9
+
+    def test_rate_floor_defaults_to_controller_floor(self):
+        """The MI-sizing floor is the controller's MIN_RATE_BPS, not a second
+        magic number: a provider asking for an absurdly low rate yields an MI
+        sized as if sending at exactly the shared floor."""
+        sim = Simulator()
+        monitor, _, _ = make_monitor(sim, rate_bps=1.0)
+        assert monitor.min_rate_bps == MIN_RATE_BPS
+        monitor.current_mi_id(0.0, 0.03)
+        mi = monitor.current_interval
+        expected = monitor.min_packets_per_mi * monitor.mss * 8.0 / MIN_RATE_BPS
+        assert mi.send_end_time - mi.start_time == pytest.approx(expected)
+
+    def test_rate_floor_configurable(self):
+        sim = Simulator()
+        monitor, _, _ = make_monitor(sim, rate_bps=1.0, min_rate_bps=64_000.0)
+        monitor.current_mi_id(0.0, 0.03)
+        mi = monitor.current_interval
+        expected = monitor.min_packets_per_mi * monitor.mss * 8.0 / 64_000.0
+        assert mi.send_end_time - mi.start_time == pytest.approx(expected)
+
+    def test_nonpositive_rate_floor_rejected(self):
+        """The floor divides the MI-duration computation; zero would crash it."""
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_monitor(sim, min_rate_bps=0.0)
 
 
 class TestFeedbackAccounting:
@@ -202,3 +229,31 @@ class TestFeedbackAccounting:
             monitor.record_ack(mi_id, 1500, 0.03)
         assert [mi.mi_id for mi in monitor.completed_intervals] == [0, 1, 2]
         assert len(completed) == 3
+        assert monitor.dropped_history == 0
+
+    def test_completed_history_keeps_most_recent_when_capped(self):
+        """Past the cap the *oldest* MIs are evicted (and counted), so a long
+        run's history is the most recent window, not a truncated prefix."""
+        sim = Simulator()
+        monitor, _, completed = make_monitor(sim, max_completed_history=3)
+        now = 0.0
+        for round_index in range(5):
+            mi_id = monitor.current_mi_id(now, 0.03)
+            monitor.record_send(mi_id, 1500)
+            end = monitor.current_interval.send_end_time
+            sim.run(end + 0.001)
+            now = sim.now
+            monitor.current_mi_id(now, 0.03)
+            monitor.record_ack(mi_id, 1500, 0.03)
+        assert len(completed) == 5  # the controller still saw every MI
+        assert [mi.mi_id for mi in monitor.completed_intervals] == [2, 3, 4]
+        assert monitor.dropped_history == 2
+
+    def test_history_cap_is_read_only(self):
+        """The cap is the deque's fixed maxlen; a writable attribute would
+        silently desynchronize retention from the dropped counter."""
+        sim = Simulator()
+        monitor, _, _ = make_monitor(sim, max_completed_history=3)
+        assert monitor.max_completed_history == 3
+        with pytest.raises(AttributeError):
+            monitor.max_completed_history = 10

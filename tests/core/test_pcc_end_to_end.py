@@ -151,3 +151,9 @@ class TestPCCUtilityPlugability:
         scheme = PCCScheme(epsilon_min=0.02, epsilon_max=0.08)
         assert scheme.controller.epsilon_min == 0.02
         assert scheme.controller.epsilon_max == 0.08
+
+    def test_monitor_inherits_controller_rate_floor(self):
+        """The monitor must size MIs against the controller's configured rate
+        floor, not a second hard-coded minimum."""
+        stats, scheme, _ = run_pcc(20e6, 0.03, 75_000, duration=1.0)
+        assert scheme.monitor.min_rate_bps == scheme.controller.min_rate_bps

@@ -8,10 +8,12 @@ from repro.experiments import (
     get_experiment,
     list_experiments,
     lossy_link_scenario,
+    parking_lot_scenario,
     run_flows,
     run_incast,
     sample_paths,
     shallow_buffer_scenario,
+    variable_bandwidth_scenario,
 )
 from repro.netsim import FlowSpec, Simulator, single_bottleneck
 
@@ -90,6 +92,29 @@ class TestScenarios:
         assert outcome["completed"] == 8
         assert outcome["barrier_time"] is not None
         assert outcome["goodput_mbps"] > 0
+
+    def test_parking_lot_scenario_outcome_fields(self):
+        out = parking_lot_scenario("cubic", num_hops=2, bandwidth_bps=5e6,
+                                   duration=3.0, seed=1)
+        assert out["num_hops"] == 2
+        assert len(out["cross_mbps"]) == 2
+        assert out["long_mbps"] > 0.0
+        assert all(cross > 0.0 for cross in out["cross_mbps"])
+        assert out["fair_share_mbps"] == pytest.approx(2.5)
+        assert out["long_share_of_fair"] == pytest.approx(
+            out["long_mbps"] / 2.5)
+        # The long flow crosses both bottlenecks and is squeezed below the
+        # single-hop cross flows.
+        assert out["long_mbps"] < max(out["cross_mbps"])
+
+    def test_variable_bandwidth_scenario_tracks_trace(self):
+        out = variable_bandwidth_scenario("cubic", trace="step", duration=6.0,
+                                          peak_bandwidth_bps=5e6, seed=1)
+        assert out["trace"] == "step"
+        # The step trace averages (peak + peak/4) / 2 = 0.625 * peak.
+        assert out["optimal_mbps"] == pytest.approx(0.625 * 5.0)
+        assert 0.0 < out["goodput_mbps"] <= out["optimal_mbps"] + 0.5
+        assert out["fraction_of_optimal"] > 0.3
 
     def test_internet_path_sampler_in_ranges(self):
         paths = sample_paths(30, seed=1)

@@ -13,8 +13,10 @@ from repro.experiments.sweep import (
     SweepGrid,
     derive_seed,
     main,
+    register_topology,
     run_cell,
     sweep,
+    topology_names,
 )
 from repro.netsim import bdp_bytes
 
@@ -81,6 +83,131 @@ class TestGridEnumeration:
             SweepGrid(schemes=("pcc",), duration=0.0)
 
 
+class TestTopologyRegistry:
+    def test_builtin_topologies_registered(self):
+        names = topology_names()
+        for name in ("single_bottleneck", "parking_lot", "trace_bottleneck"):
+            assert name in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_topology("single_bottleneck", lambda sim, cell: [])
+
+    def test_unknown_topology_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError):
+            tiny_grid(topology="no-such-topology")
+
+    def test_unknown_topology_kwargs_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="bogus"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                      topology="parking_lot",
+                      topology_kwargs={"num_hops": 2, "bogus": 1})
+
+    def test_invalid_hop_count_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="at least one hop"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                      topology="parking_lot",
+                      topology_kwargs={"num_hops": 0})
+
+    def test_trace_misconfigurations_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="repeat_every"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.0,), duration=15.0,
+                      topology="trace_bottleneck",
+                      topology_kwargs={"trace": "step", "repeat_every": 5.0})
+        with pytest.raises(ValueError, match="unknown trace"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                      topology="trace_bottleneck",
+                      topology_kwargs={"trace": "bogus"})
+
+    def test_parking_lot_rejects_reverse_loss_at_grid_construction(self):
+        """parking_lot builds clean ACK hops; a grid asking for reverse loss
+        must fail loudly at construction rather than record an un-simulated
+        flag (or die mid-sweep inside a worker)."""
+        with pytest.raises(ValueError, match="reverse_loss"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.01,),
+                      reverse_loss=True, topology="parking_lot")
+
+    def test_parking_lot_rejects_unachievable_rtt(self):
+        """An RTT too small for the hop count must error at grid
+        construction, not silently clamp to a different RTT than the one
+        recorded in the cell identity."""
+        with pytest.raises(ValueError, match="too small"):
+            tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                      rtts=(0.0005,), topology="parking_lot",
+                      topology_kwargs={"num_hops": 3})
+
+    def test_topology_recorded_in_cell_identity(self):
+        grid = tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                         topology="parking_lot",
+                         topology_kwargs={"num_hops": 2})
+        cell = grid.cells(0)[0]
+        assert cell.params()["topology"] == "parking_lot"
+        # Builder defaults are resolved into the identity, so archived JSON
+        # fully specifies what was simulated.
+        assert cell.params()["topology_kwargs"] == {
+            "num_hops": 2, "access_delay": 0.0005,
+        }
+
+    def test_builder_defaults_resolved_into_cells(self):
+        grid = tiny_grid(schemes=("cubic",), loss_rates=(0.0,),
+                         topology="trace_bottleneck")
+        cell = grid.cells(0)[0]
+        assert cell.topology_kwargs == {
+            "trace": "step", "repeat_every": None, "trace_seed": 0,
+        }
+
+    def test_cellular_trace_identical_across_schemes(self):
+        """Cells differing only by scheme must face the identical capacity
+        trace (the walk is seeded by trace_seed, not the per-cell seed), so
+        scheme comparisons are point-by-point on the same network."""
+        from repro.experiments.sweep import _build_trace_bottleneck
+
+        from repro.netsim import Simulator
+
+        grid = trace_grid()  # schemes = (cubic, pcc), trace = cellular
+        cells = grid.cells(base_seed=1)
+        assert cells[0].seed != cells[1].seed  # sim randomness still differs
+        histories = []
+        for cell in cells:
+            sim = Simulator(seed=cell.seed)
+            paths = _build_trace_bottleneck(sim, cell)
+            link = paths[0].forward_links[0]
+            series = []
+            for step in range(1, 8):
+                sim.run(cell.duration * step / 8.0)
+                series.append(link.bandwidth_bps)
+            histories.append(series)
+        assert histories[0] == histories[1]
+
+
+def parking_lot_grid(**overrides):
+    # Two cells so workers=4 really exercises the multiprocessing fan-out.
+    params = dict(
+        schemes=("cubic", "pcc"),
+        bandwidths_bps=(5e6,),
+        rtts=(0.03,),
+        flow_counts=(3,),  # long flow + one cross flow per hop
+        duration=3.0,
+        topology="parking_lot",
+        topology_kwargs={"num_hops": 2},
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
+def trace_grid(**overrides):
+    params = dict(
+        schemes=("cubic", "pcc"),
+        bandwidths_bps=(5e6,),
+        rtts=(0.03,),
+        duration=4.0,
+        topology="trace_bottleneck",
+        topology_kwargs={"trace": "cellular"},
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
 class TestSweepDeterminism:
     def test_workers_do_not_change_results(self, tmp_path):
         """workers=1 and workers=4 must produce byte-identical JSON files."""
@@ -93,6 +220,27 @@ class TestSweepDeterminism:
         serial.write(str(serial_path))
         parallel.write(str(parallel_path))
         assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_parking_lot_workers_do_not_change_results(self):
+        """The determinism guarantee holds for multi-path topologies too."""
+        serial = sweep(parking_lot_grid(), base_seed=1, workers=1)
+        parallel = sweep(parking_lot_grid(), base_seed=1, workers=4)
+        assert serial.to_json() == parallel.to_json()
+        for cell in serial.cells:
+            assert cell["cell"]["topology"] == "parking_lot"
+            assert len(cell["flows"]) == 3
+            # Every path carries traffic: the long flow and both cross flows.
+            assert all(flow["goodput_mbps"] > 0.0 for flow in cell["flows"])
+
+    def test_trace_workers_do_not_change_results(self):
+        """The cellular trace is seeded per cell, so worker fan-out cannot
+        perturb a trace-driven grid either."""
+        serial = sweep(trace_grid(), base_seed=1, workers=1)
+        parallel = sweep(trace_grid(), base_seed=1, workers=4)
+        assert serial.to_json() == parallel.to_json()
+        for cell in serial.cells:
+            assert cell["cell"]["topology_kwargs"]["trace"] == "cellular"
+            assert cell["flows"][0]["goodput_mbps"] > 0.0
 
     def test_repeated_runs_identical(self):
         grid = tiny_grid(schemes=("cubic",), loss_rates=(0.01,))
@@ -185,3 +333,64 @@ class TestCli:
         cells = json.loads(out.read_text())["cells"]
         assert cells[0]["cell"]["buffer_bytes"] == bdp_bytes(5e6, 0.03)
         assert cells[1]["cell"]["buffer_bytes"] == 30_000.0
+
+    def test_parking_lot_topology(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "cubic",
+            "--bandwidth-mbps", "5",
+            "--topology", "parking_lot",
+            "--hops", "2",
+            "--flows", "3",
+            "--duration", "2",
+            "--workers", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        (cell,) = json.loads(out.read_text())["cells"]
+        assert cell["cell"]["topology"] == "parking_lot"
+        assert cell["cell"]["topology_kwargs"]["num_hops"] == 2
+        assert len(cell["flows"]) == 3
+        assert "parking_lot" in capsys.readouterr().out
+
+    def test_parking_lot_defaults_to_one_flow_per_path(self, tmp_path):
+        """With no --flows, a parking-lot sweep must cover every hop with
+        cross traffic rather than silently running an uncontested chain."""
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "cubic",
+            "--bandwidth-mbps", "5",
+            "--topology", "parking_lot",
+            "--hops", "2",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        (cell,) = json.loads(out.read_text())["cells"]
+        assert cell["cell"]["num_flows"] == 3  # long flow + 2 cross flows
+
+    def test_topology_flags_require_their_topology(self, capsys):
+        """--hops / --trace without the matching --topology must error rather
+        than run a different experiment than the user asked for."""
+        with pytest.raises(SystemExit):
+            main(["--schemes", "cubic", "--trace", "cellular"])
+        assert "--topology trace_bottleneck" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["--schemes", "cubic", "--hops", "2"])
+        assert "--topology parking_lot" in capsys.readouterr().err
+
+    def test_trace_topology(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "cubic",
+            "--bandwidth-mbps", "5",
+            "--topology", "trace_bottleneck",
+            "--trace", "sawtooth",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        (cell,) = json.loads(out.read_text())["cells"]
+        assert cell["cell"]["topology"] == "trace_bottleneck"
+        assert cell["cell"]["topology_kwargs"]["trace"] == "sawtooth"
+        assert cell["flows"][0]["goodput_mbps"] > 0.0

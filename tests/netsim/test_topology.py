@@ -3,18 +3,25 @@
 import pytest
 
 from repro.netsim import (
+    SYNTHETIC_TRACES,
     FlowSpec,
     LinkConfig,
     RandomLinkDynamics,
     ScheduledLinkDynamics,
     Simulator,
+    TraceLinkDynamics,
     bdp_bytes,
     bulk_flows,
+    cellular_trace,
     dumbbell,
     incast,
     incast_burst,
+    make_synthetic_trace,
+    parking_lot,
     poisson_short_flows,
+    sawtooth_trace,
     single_bottleneck,
+    step_trace,
 )
 
 
@@ -69,6 +76,51 @@ class TestTopologyBuilders:
                             queue_factory=InfiniteQueue)
         link = config.build(sim)
         assert isinstance(link.queue, InfiniteQueue)
+
+
+class TestParkingLot:
+    def make(self, num_hops=3, hop_delay=0.005, access_delay=0.0005):
+        sim = Simulator()
+        return parking_lot(
+            sim, num_hops=num_hops, bandwidth_bps=50e6, hop_delay=hop_delay,
+            buffer_bytes=100_000, access_delay=access_delay,
+        )
+
+    def test_long_path_crosses_every_hop(self):
+        topo = self.make(num_hops=4)
+        assert topo.long_path.forward_links[1:] == tuple(topo.hops)
+        assert len(topo.paths) == 5  # the long path plus one cross path per hop
+
+    def test_cross_path_shares_exactly_its_hop(self):
+        topo = self.make(num_hops=3)
+        for i, cross in enumerate(topo.cross_paths):
+            shared = set(cross.forward_links) & set(topo.hops)
+            assert shared == {topo.hops[i]}
+
+    def test_reverse_chain_is_mirrored(self):
+        topo = self.make(num_hops=3)
+        assert topo.long_path.reverse_links[:-1] == tuple(reversed(topo.reverse_hops))
+        for i, cross in enumerate(topo.cross_paths):
+            assert cross.reverse_links[0] is topo.reverse_hops[i]
+
+    def test_rtt_diversity(self):
+        topo = self.make(num_hops=4, hop_delay=0.005, access_delay=0.0005)
+        assert topo.long_path.base_rtt == pytest.approx(2 * (0.0005 + 4 * 0.005))
+        for cross in topo.cross_paths:
+            assert cross.base_rtt == pytest.approx(2 * (0.0005 + 0.005))
+
+    def test_loss_applies_to_forward_hops_only(self):
+        sim = Simulator()
+        topo = parking_lot(sim, num_hops=2, bandwidth_bps=10e6, hop_delay=0.005,
+                           buffer_bytes=50_000, loss_rate=0.02)
+        assert all(hop.loss_rate == pytest.approx(0.02) for hop in topo.hops)
+        assert all(rev.loss_rate == 0.0 for rev in topo.reverse_hops)
+
+    def test_rejects_zero_hops(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            parking_lot(sim, num_hops=0, bandwidth_bps=10e6, hop_delay=0.005,
+                        buffer_bytes=50_000)
 
 
 class TestWorkloadGenerators:
@@ -152,3 +204,131 @@ class TestDynamics:
         sim.run(2.5)
         assert topo.forward.delay == pytest.approx(0.03)
         assert topo.forward.loss_rate == pytest.approx(0.02)
+
+
+class TestTraceDynamics:
+    def test_bandwidth_trace_applies_piecewise(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = TraceLinkDynamics(
+            sim, topo.forward,
+            bandwidth_trace=[(0.0, 80e6), (1.0, 20e6), (2.0, 60e6)],
+        )
+        dyn.start()
+        sim.run(0.5)
+        assert topo.forward.bandwidth_bps == 80e6
+        sim.run(1.5)
+        assert topo.forward.bandwidth_bps == 20e6
+        sim.run(2.5)
+        assert topo.forward.bandwidth_bps == 60e6
+        assert [h[0] for h in dyn.history] == [0.0, 1.0, 2.0]
+
+    def test_loss_trace_applies_to_both_directions(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = TraceLinkDynamics(
+            sim, topo.forward,
+            loss_trace=[(1.0, 0.05)],
+            reverse_link=topo.reverse,
+        )
+        dyn.start()
+        sim.run(1.5)
+        assert topo.forward.loss_rate == pytest.approx(0.05)
+        assert topo.reverse.loss_rate == pytest.approx(0.05)
+
+    def test_repeat_every_replays_the_trace(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = TraceLinkDynamics(
+            sim, topo.forward,
+            bandwidth_trace=[(0.0, 80e6), (1.0, 20e6)],
+            repeat_every=2.0,
+        )
+        dyn.start()
+        sim.run(2.5)  # second cycle's first entry fired at t=2.0
+        assert topo.forward.bandwidth_bps == 80e6
+        sim.run(3.5)  # second cycle's second entry at t=3.0
+        assert topo.forward.bandwidth_bps == 20e6
+
+    def test_optimal_rate_helpers(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = TraceLinkDynamics(
+            sim, topo.forward, bandwidth_trace=[(0.0, 80e6), (1.0, 20e6)],
+        )
+        dyn.start()
+        sim.run(2.0)
+        assert dyn.optimal_rate_at(0.5) == 80e6
+        assert dyn.optimal_rate_at(1.5) == 20e6
+        assert dyn.mean_optimal_rate(0.0, 2.0) == pytest.approx(50e6)
+
+    def test_optimal_rate_before_first_entry_is_link_rate(self):
+        """A trace whose first entry fires late must report the link's
+        configured bandwidth — not the not-yet-applied first entry — for
+        times before it, in both the point and mean helpers."""
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        dyn = TraceLinkDynamics(sim, topo.forward,
+                                bandwidth_trace=[(3.0, 10e6)])
+        dyn.start()
+        sim.run(6.0)
+        assert dyn.optimal_rate_at(2.0) == 100e6
+        assert dyn.optimal_rate_at(4.0) == 10e6
+        assert dyn.mean_optimal_rate(0.0, 6.0) == pytest.approx(55e6)
+
+    def test_empty_trace_rejected(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        with pytest.raises(ValueError):
+            TraceLinkDynamics(sim, topo.forward)
+        with pytest.raises(ValueError):
+            TraceLinkDynamics(sim, topo.forward,
+                              bandwidth_trace=[(0.0, 1e6)], repeat_every=0.0)
+
+    def test_repeat_period_must_cover_the_trace(self):
+        """A repeat period shorter than the trace span would interleave
+        replay cycles with the original trace's tail; it must be rejected."""
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        with pytest.raises(ValueError, match="repeat_every"):
+            TraceLinkDynamics(sim, topo.forward,
+                              bandwidth_trace=[(0.0, 80e6), (3.0, 20e6)],
+                              repeat_every=2.0)
+
+
+class TestSyntheticTraces:
+    def test_step_trace_toggles(self):
+        trace = step_trace(10e6, 40e6, period=1.0, duration=4.0)
+        assert trace == [(0.0, 40e6), (1.0, 10e6), (2.0, 40e6), (3.0, 10e6)]
+
+    def test_sawtooth_trace_ramps_and_resets(self):
+        trace = sawtooth_trace(10e6, 40e6, period=1.0, duration=2.0, steps=4)
+        times = [t for t, _ in trace]
+        values = [v for _, v in trace]
+        assert times == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75])
+        assert values[:4] == pytest.approx([10e6, 20e6, 30e6, 40e6])
+        assert values[4] == pytest.approx(10e6)  # reset at the cycle boundary
+
+    def test_cellular_trace_deterministic_and_bounded(self):
+        a = cellular_trace(20e6, duration=30.0, seed=7)
+        b = cellular_trace(20e6, duration=30.0, seed=7)
+        c = cellular_trace(20e6, duration=30.0, seed=8)
+        assert a == b
+        assert a != c
+        assert all(20e6 / 5.0 <= rate <= 2 * 20e6 for _, rate in a)
+
+    def test_make_synthetic_trace_names(self):
+        for name in SYNTHETIC_TRACES:
+            trace = make_synthetic_trace(name, peak_bps=40e6, duration=16.0)
+            assert trace and trace[0][0] == 0.0
+            assert all(rate <= 40e6 + 1e-6 for _, rate in trace)
+        with pytest.raises(ValueError):
+            make_synthetic_trace("no-such-trace", peak_bps=40e6, duration=16.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            step_trace(1e6, 2e6, period=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            sawtooth_trace(1e6, 2e6, period=1.0, duration=1.0, steps=1)
+        with pytest.raises(ValueError):
+            cellular_trace(1e6, duration=1.0, spread=1.5)
