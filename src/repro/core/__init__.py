@@ -4,9 +4,14 @@ The package decomposes exactly as Figure 2 of the paper does:
 
 * :mod:`repro.core.monitor` — the Monitor module (monitor intervals, SACK
   aggregation into throughput / loss / RTT);
-* :mod:`repro.core.utility` — pluggable utility functions;
-* :mod:`repro.core.controller` — the performance-oriented control module
-  (starting / decision-making with RCTs / rate-adjusting states);
+* :mod:`repro.core.utility` — pluggable utility functions (name registry via
+  :func:`~repro.core.utility.make_utility`);
+* :mod:`repro.core.policy` — pluggable learning policies
+  (:class:`~repro.core.policy.RateControlPolicy`, name registry via
+  :func:`~repro.core.policy.make_policy`);
+* :mod:`repro.core.controller` — the paper's three-state performance-oriented
+  control module (starting / decision-making with RCTs / rate-adjusting),
+  registered as policy ``"pcc"``;
 * :mod:`repro.core.sender` — the glue that runs all of the above inside the
   network simulator's rate-paced sender.
 """
@@ -18,10 +23,20 @@ from .utility import (
     SafeUtility,
     SimpleUtility,
     UtilityFunction,
+    make_utility,
+    register_utility,
     sigmoid,
+    utility_names,
 )
 from .monitor import PerformanceMonitor
 from .controller import ControllerState, MIPurpose, PCCController
+from .policy import (
+    GradientAscentPolicy,
+    RateControlPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
 from .sender import PCCScheme, make_pcc_sender
 
 __all__ = [
@@ -31,11 +46,19 @@ __all__ = [
     "SafeUtility",
     "SimpleUtility",
     "UtilityFunction",
+    "make_utility",
+    "register_utility",
+    "utility_names",
     "sigmoid",
     "PerformanceMonitor",
     "ControllerState",
     "MIPurpose",
     "PCCController",
+    "GradientAscentPolicy",
+    "RateControlPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
     "PCCScheme",
     "make_pcc_sender",
 ]

@@ -57,7 +57,7 @@ class ControllerState(enum.Enum):
 class MIPurpose:
     """Tag attached to each MI describing why the controller chose its rate."""
 
-    kind: str          # "starting" | "trial" | "wait" | "adjust"
+    kind: str          # "starting" | "trial" | "wait" | "adjust" | "probe" (gradient policy)
     epoch: int         # probing epoch; stale results are ignored
     trial_index: int = -1
     sign: int = 0      # +1 / -1 for trial MIs, direction for adjust MIs
@@ -116,6 +116,18 @@ class PCCController:
 
     def _clamp(self, rate: float) -> float:
         return min(max(rate, self.min_rate_bps), self.max_rate_bps)
+
+    def reset_initial_rate(self, rate_bps: float) -> None:
+        """Restart the rate search from ``rate_bps`` (clamped to the bounds).
+
+        Called at flow start once the path RTT is known, to apply the §3.2
+        ``2 * MSS / RTT`` initial rate.  This is the public entry point of the
+        :class:`~repro.core.policy.RateControlPolicy` protocol; callers must
+        not poke the private starting-state fields directly.
+        """
+        rate = self._clamp(rate_bps)
+        self.rate_bps = rate
+        self._next_start_rate = rate
 
     # ------------------------------------------------------------------ #
     # Rate selection (called by the monitor at the start of every MI)

@@ -1,0 +1,271 @@
+"""Pluggable rate-control (learning) policies.
+
+Section 2.4 of the paper argues that PCC is an *architecture*, not a single
+algorithm: the monitor machinery measures, a utility function scores, and a
+learning control module decides the next sending rate.  This module makes the
+third piece a first-class abstraction:
+
+* :class:`RateControlPolicy` — the protocol every learning policy implements.
+  A policy is a pure state machine: the monitor asks it for each new MI's rate
+  (:meth:`~RateControlPolicy.next_rate`) and reports each completed MI's
+  utility (:meth:`~RateControlPolicy.on_mi_complete`).
+* :class:`~repro.core.controller.PCCController` — the paper's three-state
+  practical algorithm (§3.2), registered as policy ``"pcc"``.
+* :class:`GradientAscentPolicy` — a continuous gradient-ascent learner
+  (registered as ``"gradient"``): the "simpler reactive" end of the §4.2.2
+  stability/reactiveness trade-off, contrasted against the RCT machine.
+* a name registry (:func:`register_policy` / :func:`make_policy` /
+  :func:`policy_names`) so experiment layers can select policies by
+  JSON-serializable name across process boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..registry import NameRegistry
+from .controller import MIN_RATE_BPS, MIPurpose, PCCController
+from .metrics import MonitorIntervalStats
+
+__all__ = [
+    "RateControlPolicy",
+    "GradientAscentPolicy",
+    "register_policy",
+    "make_policy",
+    "policy_names",
+]
+
+
+@runtime_checkable
+class RateControlPolicy(Protocol):
+    """The contract between the performance monitor and a learning policy.
+
+    A policy owns three pieces of mutable state the rest of the stack reads:
+    ``rate_bps`` (the current base rate), and the ``min_rate_bps`` /
+    ``max_rate_bps`` bounds every chosen rate is clamped to.  The monitor
+    keeps its MI-sizing floor equal to the policy's ``min_rate_bps`` so the
+    two layers never disagree about the slowest legal rate.
+    """
+
+    rate_bps: float
+    min_rate_bps: float
+    max_rate_bps: float
+
+    def next_rate(self, now: float) -> Tuple[float, object]:
+        """Rate and purpose tag for the MI that is about to start."""
+        ...  # pragma: no cover - protocol signature only
+
+    def on_mi_complete(self, mi: MonitorIntervalStats) -> None:
+        """Fold one completed MI's measured utility into the policy state."""
+        ...  # pragma: no cover - protocol signature only
+
+    def reset_initial_rate(self, rate_bps: float) -> None:
+        """Restart the policy's search from ``rate_bps`` (clamped to bounds).
+
+        Called once at flow start, after the path's RTT is known, to set the
+        ``2 * MSS / RTT`` initial rate of §3.2 — the public replacement for
+        reaching into policy internals.
+        """
+        ...  # pragma: no cover - protocol signature only
+
+    def attach_rng(self, rng) -> None:
+        """Provide the simulator RNG used for any randomized choices."""
+        ...  # pragma: no cover - protocol signature only
+
+
+class GradientAscentPolicy:
+    """Continuous gradient ascent on the utility function.
+
+    The learner the paper contrasts its RCT machine against: after a doubling
+    start phase it repeatedly sends one *probe pair* — two MIs at
+    ``r (1 + eps)`` and ``r (1 - eps)`` in randomized order — estimates the
+    utility gradient from the pair, and steps the base rate by a clipped,
+    confidence-scaled amount:
+
+    ``score = (u+ - u-) / (|u+| + |u-|)`` is the dimensionless gradient
+    estimate (its sign is du/dr's sign; its magnitude grows with how decisive
+    the pair was), ``streak`` counts consecutive same-direction steps, and the
+    applied step is ``clip(gain * score * streak, ±max_step)`` of the current
+    rate.  No randomized controlled trials and no hold-at-``r`` decision
+    rounds: every MI probes, so the policy converges much faster on
+    trace-driven links, at the cost of the stability the RCT machine buys
+    (the §4.2.2 trade-off; deviations documented in EXPERIMENTS.md).
+    """
+
+    def __init__(
+        self,
+        initial_rate_bps: float = 1_000_000.0,
+        epsilon: float = 0.02,
+        gain: float = 0.1,
+        max_step: float = 0.25,
+        max_rate_bps: float = 1e12,
+        min_rate_bps: float = MIN_RATE_BPS,
+    ):
+        if epsilon <= 0 or epsilon >= 1:
+            raise ValueError("need 0 < epsilon < 1")
+        if gain <= 0 or max_step <= 0 or max_step >= 1:
+            raise ValueError("need gain > 0 and 0 < max_step < 1")
+        if min_rate_bps <= 0 or max_rate_bps < min_rate_bps:
+            raise ValueError("need 0 < min_rate_bps <= max_rate_bps")
+        self.epsilon = epsilon
+        self.gain = gain
+        self.max_step = max_step
+        self.max_rate_bps = max_rate_bps
+        self.min_rate_bps = min_rate_bps
+        self.rate_bps = self._clamp(initial_rate_bps)
+        self._rng = None
+        self._epoch = 0
+        # Doubling start phase (exits on the first utility decrease).
+        self._starting = True
+        self._next_start_rate = self.rate_bps
+        self._last_start: Optional[Tuple[float, float]] = None  # (rate, utility)
+        # Probe cycle: pending (probe_index, sign) MIs, collected results.
+        self._probe_plan: List[Tuple[int, int]] = []
+        self._probe_results: Dict[int, Tuple[int, float]] = {}
+        self._pair_active = False
+        self._streak = 0
+        self._last_direction = 0
+        # Diagnostics.
+        self.steps_taken = 0
+        self.reversals = 0
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach_rng(self, rng) -> None:
+        """Provide the simulator RNG used to randomize probe ordering."""
+        self._rng = rng
+
+    def _clamp(self, rate: float) -> float:
+        return min(max(rate, self.min_rate_bps), self.max_rate_bps)
+
+    def reset_initial_rate(self, rate_bps: float) -> None:
+        """Restart the search from ``rate_bps`` (clamped to the bounds)."""
+        self.rate_bps = self._clamp(rate_bps)
+        self._next_start_rate = self.rate_bps
+
+    # ------------------------------------------------------------------ #
+    # Rate selection
+    # ------------------------------------------------------------------ #
+    def next_rate(self, now: float) -> Tuple[float, MIPurpose]:
+        """Rate and purpose tag for the MI that is about to start."""
+        if self._starting:
+            rate = self._clamp(self._next_start_rate)
+            self._next_start_rate = self._clamp(self._next_start_rate * 2.0)
+            self.rate_bps = rate
+            return rate, MIPurpose(kind="starting", epoch=self._epoch)
+        if not self._pair_active:
+            self._plan_probe_pair()
+        if self._probe_plan:
+            probe_index, sign = self._probe_plan.pop(0)
+            rate = self._clamp(self.rate_bps * (1.0 + sign * self.epsilon))
+            return rate, MIPurpose(
+                kind="probe", epoch=self._epoch, trial_index=probe_index, sign=sign
+            )
+        # Both probes of the pair are in flight; hold the base rate until
+        # their results arrive.
+        return self.rate_bps, MIPurpose(kind="wait", epoch=self._epoch)
+
+    def _plan_probe_pair(self) -> None:
+        signs = [1, -1]
+        if self._rng is not None and self._rng.random() < 0.5:
+            signs.reverse()
+        self._probe_plan = [(0, signs[0]), (1, signs[1])]
+        self._probe_results = {}
+        self._pair_active = True
+
+    # ------------------------------------------------------------------ #
+    # Utility feedback
+    # ------------------------------------------------------------------ #
+    def on_mi_complete(self, mi: MonitorIntervalStats) -> None:
+        """Fold one completed MI's utility into the learner."""
+        purpose = mi.purpose
+        if not isinstance(purpose, MIPurpose) or purpose.epoch != self._epoch:
+            return
+        if mi.is_empty():
+            # An MI in which nothing was sent gives no information; re-queue a
+            # probe so the pair can still conclude.
+            if purpose.kind == "probe" and not self._starting:
+                self._probe_plan.append((purpose.trial_index, purpose.sign))
+            return
+        if purpose.kind == "starting" and self._starting:
+            self._handle_starting(mi)
+        elif purpose.kind == "probe" and not self._starting:
+            self._handle_probe(mi, purpose)
+        # "wait" MIs carry no decision weight.
+
+    def _handle_starting(self, mi: MonitorIntervalStats) -> None:
+        utility = mi.utility or 0.0
+        if self._last_start is not None and utility < self._last_start[1]:
+            # First decrease ends the start phase; resume from the better rate.
+            self.rate_bps = self._clamp(self._last_start[0])
+            self._starting = False
+            self._epoch += 1
+            return
+        self._last_start = (mi.target_rate_bps, utility)
+
+    def _handle_probe(self, mi: MonitorIntervalStats, purpose: MIPurpose) -> None:
+        self._probe_results[purpose.trial_index] = (purpose.sign, mi.utility or 0.0)
+        if len(self._probe_results) < 2:
+            return
+        by_sign = dict(self._probe_results.values())
+        u_plus = by_sign.get(1, 0.0)
+        u_minus = by_sign.get(-1, 0.0)
+        denominator = abs(u_plus) + abs(u_minus)
+        score = (u_plus - u_minus) / denominator if denominator > 0 else 0.0
+        direction = 1 if score > 0 else (-1 if score < 0 else 0)
+        if direction != 0 and direction == self._last_direction:
+            self._streak += 1
+        else:
+            if direction != 0 and self._last_direction != 0:
+                self.reversals += 1
+            self._streak = 1
+        self._last_direction = direction
+        step = max(-self.max_step, min(self.max_step, self.gain * score * self._streak))
+        self.rate_bps = self._clamp(self.rate_bps * (1.0 + step))
+        self.steps_taken += 1
+        # Abandon any in-flight probes of the concluded pair and start fresh.
+        self._epoch += 1
+        self._probe_plan = []
+        self._probe_results = {}
+        self._pair_active = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        phase = "starting" if self._starting else "probing"
+        return (
+            f"GradientAscentPolicy(phase={phase}, rate={self.rate_bps / 1e6:.3f} Mbps, "
+            f"streak={self._streak})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Policy registry
+# --------------------------------------------------------------------------- #
+_POLICIES: NameRegistry[Callable[..., RateControlPolicy]] = NameRegistry("policy")
+
+
+def register_policy(name: str, factory: Callable[..., RateControlPolicy]) -> None:
+    """Register ``factory`` (a policy class or callable) under ``name``.
+
+    Names are the JSON-serializable currency of the experiment layers; like
+    every :class:`~repro.registry.NameRegistry`, registration must happen at
+    module import time so spawn-method sweep workers can resolve the name.
+    """
+    _POLICIES.register(name, factory)
+
+
+def make_policy(name: str, **kwargs) -> RateControlPolicy:
+    """Instantiate the policy registered under ``name``."""
+    return _POLICIES.get(name)(**kwargs)
+
+
+def policy_names() -> List[str]:
+    """All registered policy names, sorted."""
+    return _POLICIES.names()
+
+
+register_policy("pcc", PCCController)
+register_policy("gradient", GradientAscentPolicy)

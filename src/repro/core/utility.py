@@ -26,8 +26,9 @@ the two terms are commensurate regardless of link speed.
 from __future__ import annotations
 
 import math
-from typing import Optional, Protocol
+from typing import Callable, List, Optional, Protocol
 
+from ..registry import NameRegistry
 from .metrics import MonitorIntervalStats
 
 __all__ = [
@@ -37,6 +38,9 @@ __all__ = [
     "LossResilientUtility",
     "LatencyUtility",
     "sigmoid",
+    "register_utility",
+    "make_utility",
+    "utility_names",
 ]
 
 
@@ -142,3 +146,35 @@ class LatencyUtility:
         gate = sigmoid(mi.loss_rate - self.loss_threshold, self.alpha)
         numerator = throughput_mbps * gate * (rtt_prev / rtt_now) - rate_mbps * mi.loss_rate
         return numerator / rtt_now
+
+
+# --------------------------------------------------------------------------- #
+# Utility registry
+# --------------------------------------------------------------------------- #
+_UTILITIES: NameRegistry[Callable[..., UtilityFunction]] = NameRegistry("utility")
+
+
+def register_utility(name: str, factory: Callable[..., UtilityFunction]) -> None:
+    """Register ``factory`` (a utility class or callable) under ``name``.
+
+    Names are the JSON-serializable currency of the experiment layers; like
+    every :class:`~repro.registry.NameRegistry`, registration must happen at
+    module import time so spawn-method sweep workers can resolve the name.
+    """
+    _UTILITIES.register(name, factory)
+
+
+def make_utility(name: str, **kwargs) -> UtilityFunction:
+    """Instantiate the utility function registered under ``name``."""
+    return _UTILITIES.get(name)(**kwargs)
+
+
+def utility_names() -> List[str]:
+    """All registered utility names, sorted."""
+    return _UTILITIES.names()
+
+
+register_utility("safe", SafeUtility)
+register_utility("simple", SimpleUtility)
+register_utility("loss_resilient", LossResilientUtility)
+register_utility("latency", LatencyUtility)

@@ -16,6 +16,7 @@ from .scenarios import (
     shallow_buffer_scenario,
     short_flow_scenario,
     tradeoff_scenario,
+    utility_ablation_scenario,
     variable_bandwidth_scenario,
 )
 from .internet import (
@@ -41,8 +42,11 @@ _SWEEP_EXPORTS = (
     "SweepGrid",
     "SweepResult",
     "derive_seed",
+    "register_scheme_variant",
     "register_topology",
+    "resolve_scheme_spec",
     "resolve_topology_kwargs",
+    "scheme_variant_names",
     "topology_names",
 )
 
@@ -77,6 +81,7 @@ __all__ = [
     "shallow_buffer_scenario",
     "short_flow_scenario",
     "tradeoff_scenario",
+    "utility_ablation_scenario",
     "variable_bandwidth_scenario",
     "InternetPathConfig",
     "improvement_ratios",
@@ -96,7 +101,10 @@ __all__ = [
     "SweepGrid",
     "SweepResult",
     "derive_seed",
+    "register_scheme_variant",
     "register_topology",
+    "resolve_scheme_spec",
     "resolve_topology_kwargs",
+    "scheme_variant_names",
     "topology_names",
 ]

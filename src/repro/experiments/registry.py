@@ -119,6 +119,15 @@ EXPERIMENTS: Dict[str, Experiment] = {
             ("pcc", "cubic"),
         ),
         Experiment(
+            "sec44_ablation", "Utility-function ablation across environments", "4.4",
+            "repro.experiments.scenarios.utility_ablation_scenario",
+            "benchmarks/bench_utility_ablation.py",
+            ("pcc", "pcc:loss_resilient", "pcc:latency"),
+            "identical PCC machinery under safe / loss-resilient / latency "
+            "utilities on a 30%-loss link and a bufferbloated link; sweepable "
+            "via the grid's 'utilities' axis or pcc:<variant> scheme specs",
+        ),
+        Experiment(
             "parking_lot", "Multi-bottleneck parking lot with per-hop cross traffic",
             "4.3",
             "repro.experiments.scenarios.parking_lot_scenario",
@@ -146,8 +155,18 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def get_experiment(experiment_id: str) -> Experiment:
-    """Look up one experiment by its id (e.g. ``"fig7"``)."""
-    return EXPERIMENTS[experiment_id]
+    """Look up one experiment by its id (e.g. ``"fig7"``).
+
+    Unknown ids raise a ``KeyError`` that lists every valid id, so a typo in a
+    benchmark or notebook is a one-glance fix instead of a bare miss.
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment id {experiment_id!r}; valid ids: "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
 
 
 def list_experiments() -> List[Experiment]:

@@ -11,12 +11,11 @@ conditions.  EXPERIMENTS.md records the scaling per experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..core import LatencyUtility, LossResilientUtility, SafeUtility
+from ..core import LatencyUtility, LossResilientUtility
 from ..netsim import (
     CoDelQueue,
-    DropTailQueue,
     FairQueue,
     FlowSpec,
     InfiniteQueue,
@@ -37,7 +36,7 @@ from ..analysis import (
     jain_index_over_timescales,
     rate_std_dev,
 )
-from .runner import FlowResult, ScenarioResult, run_flows
+from .runner import ScenarioResult, run_flows
 
 __all__ = [
     "ScenarioOutcome",
@@ -55,6 +54,7 @@ __all__ = [
     "tradeoff_scenario",
     "extreme_loss_scenario",
     "aqm_power_scenario",
+    "utility_ablation_scenario",
 ]
 
 #: Scheme -> PCC-specific keyword arguments injected automatically.
@@ -630,3 +630,53 @@ def aqm_power_scenario(
         "mean_rtt_ms": sum(f.mean_rtt for f in result.flows) / len(result.flows) * 1e3,
         "result": result,
     }
+
+
+# --------------------------------------------------------------------------- #
+# §4.4 — utility-function ablation
+# --------------------------------------------------------------------------- #
+def utility_ablation_scenario(
+    environment: str = "lossy",
+    utilities: Sequence[Optional[str]] = (None, "loss_resilient", "latency"),
+    bandwidth_bps: float = 20e6,
+    rtt: float = 0.03,
+    loss_rate: float = 0.3,
+    buffer_bytes: float = 2_000_000.0,
+    duration: float = 20.0,
+    seed: int = 1,
+) -> Dict[str, ScenarioOutcome]:
+    """§4.4: the same PCC machinery under each registered utility function.
+
+    Two environments stress the two flexibility claims:
+
+    * ``"lossy"`` — a BDP-buffered bottleneck with heavy random loss
+      (§4.4.2): the loss-resilient utility should keep most of the achievable
+      ``(1 - loss) * bandwidth`` goodput while the safe utility's 5% loss cap
+      makes it collapse.
+    * ``"deep_buffer"`` — a bufferbloated drop-tail bottleneck (§4.4.1): the
+      latency utility should keep mean RTT near the base RTT while the safe
+      utility fills the buffer.
+
+    ``utilities`` entries are registered utility names (``None`` means the
+    scheme default, i.e. the safe utility).  Returns one
+    :class:`ScenarioOutcome` per utility, keyed by name (``None`` → "safe").
+    Every comparison runs from the same seed, so the utilities face identical
+    random loss and MI-length draws as far as trajectories allow.
+    """
+    if environment == "lossy":
+        link = dict(loss_rate=loss_rate,
+                    buffer_bytes=bdp_bytes(bandwidth_bps, rtt))
+    elif environment == "deep_buffer":
+        link = dict(loss_rate=0.0, buffer_bytes=buffer_bytes)
+    else:
+        raise ValueError("environment must be 'lossy' or 'deep_buffer'")
+    outcomes: Dict[str, ScenarioOutcome] = {}
+    for utility in utilities:
+        sim = Simulator(seed=seed)
+        topo = single_bottleneck(sim, bandwidth_bps=bandwidth_bps, rtt=rtt, **link)
+        kwargs = {} if utility is None else {"utility": utility}
+        name = utility or "safe"
+        spec = FlowSpec(scheme="pcc", controller_kwargs=kwargs, label=name)
+        result = run_flows(sim, [topo.path], [spec], duration=duration)
+        outcomes[name] = _single_flow_outcome("pcc", result)
+    return outcomes

@@ -9,6 +9,12 @@ place that fan-out lives:
   registered **topology builder** (``single_bottleneck`` by default, plus
   ``parking_lot`` multi-bottleneck chains and ``trace_bottleneck``
   time-varying links; extendable via :func:`register_topology`);
+* scheme entries may carry a **variant** suffix (``"pcc:gradient"``,
+  ``"pcc:latency"``, …) resolved against the :func:`register_scheme_variant`
+  registry into controller kwargs (a learning policy, a utility function, an
+  ablation switch), and the grid has a ``utilities`` axis crossing registered
+  utility names with every other axis — the §4.4 flexibility experiments as
+  first-class sweep dimensions;
 * :func:`sweep` fans the cells out across CPU cores with
   :mod:`multiprocessing`, seeding every cell deterministically from
   ``(base_seed, cell_index)`` via :func:`derive_seed`, so the result is
@@ -32,8 +38,10 @@ import sys
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core import make_utility, policy_names, utility_names
+from ..registry import NameRegistry
 from ..netsim import (
     SYNTHETIC_TRACES,
     FlowSpec,
@@ -53,8 +61,11 @@ __all__ = [
     "SweepGrid",
     "SweepResult",
     "derive_seed",
+    "register_scheme_variant",
     "register_topology",
+    "resolve_scheme_spec",
     "resolve_topology_kwargs",
+    "scheme_variant_names",
     "topology_names",
     "sweep",
     "main",
@@ -83,6 +94,86 @@ def derive_seed(base_seed: int, cell_index: int) -> int:
     return z & 0x7FFF_FFFF_FFFF_FFFF
 
 
+# --------------------------------------------------------------------------- #
+# Scheme-variant registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _SchemeVariant:
+    base_scheme: str
+    controller_kwargs: Dict[str, Any]
+    description: str
+
+
+_SCHEME_VARIANTS: NameRegistry[_SchemeVariant] = NameRegistry("scheme variant")
+
+
+def register_scheme_variant(
+    name: str,
+    controller_kwargs: Dict[str, Any],
+    base_scheme: str = "pcc",
+    description: str = "",
+) -> None:
+    """Register a scheme variant usable in grid specs as ``"<base>:<name>"``.
+
+    A variant is a named bundle of JSON-serializable controller kwargs — a
+    learning policy (``{"policy": "gradient"}``), a utility function
+    (``{"utility": "latency"}``), an ablation switch (``{"use_rct": False}``)
+    — layered onto ``base_scheme`` when the cell is simulated and recorded in
+    the cell's identity JSON under ``scheme_kwargs``.  Like every
+    :class:`~repro.registry.NameRegistry`, registration must happen at module
+    import time so spawn-method sweep workers can resolve the name.
+    """
+    _SCHEME_VARIANTS.register(name, _SchemeVariant(
+        base_scheme=base_scheme,
+        controller_kwargs=dict(controller_kwargs),
+        description=description,
+    ))
+
+
+def scheme_variant_names() -> List[str]:
+    """All registered scheme-variant names, sorted."""
+    return _SCHEME_VARIANTS.names()
+
+
+def resolve_scheme_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a grid scheme spec into ``(base_scheme, controller_kwargs)``.
+
+    A plain scheme name (``"pcc"``, ``"cubic"``) resolves to itself with no
+    extra kwargs; ``"pcc:gradient"`` resolves via the variant registry.
+    Unknown variants, or variants applied to the wrong base scheme, raise
+    ``ValueError`` so grids fail at construction rather than mid-sweep.
+    """
+    base, sep, variant = spec.partition(":")
+    if not sep:
+        return spec, {}
+    info = _SCHEME_VARIANTS.get(variant)
+    if base != info.base_scheme:
+        raise ValueError(
+            f"scheme variant {variant!r} applies to base scheme "
+            f"{info.base_scheme!r}, not {base!r}"
+        )
+    return base, dict(info.controller_kwargs)
+
+
+register_scheme_variant(
+    "gradient", {"policy": "gradient"},
+    description="continuous gradient-ascent learning policy (vs the "
+                "three-state RCT machine)")
+register_scheme_variant(
+    "latency", {"utility": "latency"},
+    description="§4.4.1 interactive-flow (power-maximising) utility")
+register_scheme_variant(
+    "loss_resilient", {"utility": "loss_resilient"},
+    description="§4.4.2 loss-resilient utility T * (1 - L)")
+register_scheme_variant(
+    "simple", {"utility": "simple"},
+    description="pre-sigmoid derivation utility T - x * L")
+register_scheme_variant(
+    "no_rct", {"use_rct": False},
+    description="§4.2.2 ablation: single trial pair instead of randomized "
+                "controlled trials")
+
+
 @dataclass
 class SweepCell:
     """One fully-resolved point of a sweep grid."""
@@ -105,6 +196,22 @@ class SweepCell:
     #: Extra JSON-serializable arguments interpreted by the topology builder
     #: (e.g. ``{"num_hops": 3}`` for ``parking_lot``).
     topology_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Registered utility-function name for this cell's PCC flows (``None``
+    #: means the scheme default, i.e. the safe utility).
+    utility: Optional[str] = None
+
+    def resolved_scheme_kwargs(self) -> Dict[str, Any]:
+        """Controller kwargs this cell's scheme spec + utility resolve to.
+
+        The variant registry's kwargs come first, then the ``utilities`` axis
+        value; grid-level ``controller_kwargs`` are layered on top at
+        simulation time (they may contain non-JSON objects, so they are not
+        part of the identity).  Empty for a plain default cell.
+        """
+        kwargs = resolve_scheme_spec(self.scheme)[1]
+        if self.utility is not None:
+            kwargs["utility"] = self.utility
+        return kwargs
 
     def resolved_buffer_bytes(self) -> float:
         """The concrete bottleneck buffer for this cell (BDP if unspecified)."""
@@ -114,7 +221,7 @@ class SweepCell:
 
     def params(self) -> Dict[str, Any]:
         """The JSON-friendly identity of this cell (everything but results)."""
-        return {
+        out: Dict[str, Any] = {
             "index": self.index,
             "scheme": self.scheme,
             "bandwidth_bps": self.bandwidth_bps,
@@ -129,6 +236,14 @@ class SweepCell:
             "topology": self.topology,
             "topology_kwargs": dict(self.topology_kwargs),
         }
+        # Only non-default cells carry the extra keys, so grids that predate
+        # the policy/utility axes keep producing byte-identical JSON.
+        if self.utility is not None:
+            out["utility"] = self.utility
+        scheme_kwargs = self.resolved_scheme_kwargs()
+        if scheme_kwargs:
+            out["scheme_kwargs"] = scheme_kwargs
+        return out
 
 
 # --------------------------------------------------------------------------- #
@@ -139,13 +254,19 @@ class SweepCell:
 #: so the order paths are returned in is part of the builder's contract.
 TopologyBuilder = Callable[[Simulator, SweepCell], Sequence[Path]]
 
-_TOPOLOGY_BUILDERS: Dict[str, TopologyBuilder] = {}
-_TOPOLOGY_KWARG_DEFAULTS: Dict[str, Dict[str, Any]] = {}
-_TOPOLOGY_SUPPORTS_REVERSE_LOSS: Dict[str, bool] = {}
-#: Optional per-topology validator called as ``validate(grid, resolved_kwargs)``
-#: from :meth:`SweepGrid.__post_init__`, so topology-specific
-#: mis-configurations fail at grid construction, not mid-sweep in a worker.
-_TOPOLOGY_GRID_VALIDATORS: Dict[str, Optional[Callable[["SweepGrid", Dict[str, Any]], None]]] = {}
+
+@dataclass(frozen=True)
+class _Topology:
+    builder: TopologyBuilder
+    kwarg_defaults: Dict[str, Any]
+    supports_reverse_loss: bool
+    #: Optional validator called as ``validate(grid, resolved_kwargs)`` from
+    #: :meth:`SweepGrid.__post_init__`, so topology-specific
+    #: mis-configurations fail at grid construction, not mid-sweep in a worker.
+    validate_grid: Optional[Callable[["SweepGrid", Dict[str, Any]], None]]
+
+
+_TOPOLOGIES: NameRegistry[_Topology] = NameRegistry("topology")
 
 
 def register_topology(
@@ -175,19 +296,18 @@ def register_topology(
     ``if __name__ == "__main__":`` block or an interactive session —
     otherwise multi-worker sweeps fail with "unknown topology".
     """
-    if name in _TOPOLOGY_BUILDERS:
-        raise ValueError(f"topology {name!r} is already registered")
-    _TOPOLOGY_BUILDERS[name] = builder
-    _TOPOLOGY_KWARG_DEFAULTS[name] = dict(kwarg_defaults or {})
-    _TOPOLOGY_SUPPORTS_REVERSE_LOSS[name] = supports_reverse_loss
-    _TOPOLOGY_GRID_VALIDATORS[name] = validate_grid
+    _TOPOLOGIES.register(name, _Topology(
+        builder=builder,
+        kwarg_defaults=dict(kwarg_defaults or {}),
+        supports_reverse_loss=supports_reverse_loss,
+        validate_grid=validate_grid,
+    ))
 
 
 def resolve_topology_kwargs(name: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
     """Merge ``kwargs`` over the topology's declared defaults, rejecting keys
     the builder never declared."""
-    _resolve_topology(name)  # raises on unknown topology names
-    defaults = _TOPOLOGY_KWARG_DEFAULTS[name]
+    defaults = _TOPOLOGIES.get(name).kwarg_defaults
     unknown = set(kwargs) - set(defaults)
     if unknown:
         raise ValueError(
@@ -198,16 +318,7 @@ def resolve_topology_kwargs(name: str, kwargs: Dict[str, Any]) -> Dict[str, Any]
 
 def topology_names() -> List[str]:
     """All registered topology names, sorted."""
-    return sorted(_TOPOLOGY_BUILDERS)
-
-
-def _resolve_topology(name: str) -> TopologyBuilder:
-    try:
-        return _TOPOLOGY_BUILDERS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown topology {name!r}; registered: {', '.join(topology_names())}"
-        ) from None
+    return _TOPOLOGIES.names()
 
 
 def _build_single_bottleneck(sim: Simulator, cell: SweepCell) -> List[Path]:
@@ -334,9 +445,9 @@ class SweepGrid:
     """A declarative grid of scenarios over one named topology.
 
     Cells are enumerated as the cartesian product in the fixed axis order
-    ``scheme x bandwidth x rtt x loss x buffer x flow count`` (the slowest
-    varying axis first), so cell indices — and therefore the derived per-cell
-    seeds — are a pure function of the grid declaration.
+    ``scheme x bandwidth x rtt x loss x buffer x flow count x utility`` (the
+    slowest varying axis first), so cell indices — and therefore the derived
+    per-cell seeds — are a pure function of the grid declaration.
     """
 
     schemes: Sequence[str]
@@ -345,6 +456,11 @@ class SweepGrid:
     loss_rates: Sequence[float] = (0.0,)
     buffers_bytes: Sequence[Optional[float]] = (None,)
     flow_counts: Sequence[int] = (1,)
+    #: Registered utility-function names (§4.4 flexibility axis); ``None``
+    #: means the scheme default (safe utility).  The fastest-varying axis, so
+    #: the default ``(None,)`` leaves the cell enumeration — and therefore
+    #: every derived per-cell seed — of pre-existing grids untouched.
+    utilities: Sequence[Optional[str]] = (None,)
     duration: float = 15.0
     #: Apply the forward loss rate to the reverse (ACK) direction too, as in
     #: the Figure 7 lossy-link experiment (single-path topologies only).
@@ -364,16 +480,67 @@ class SweepGrid:
             raise ValueError("a sweep grid needs at least one scheme")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if not self.utilities:
+            raise ValueError("a sweep grid needs at least one utilities entry "
+                             "(use (None,) for the scheme default)")
+        # Resolve every scheme spec now: unknown variants fail at grid
+        # construction, not mid-sweep inside a worker.
+        resolved_specs = {
+            spec: resolve_scheme_spec(spec) for spec in self.schemes
+        }
+        # The policy and utility a cell ran with are identity: they must
+        # arrive via scheme specs or the utilities axis, which are recorded in
+        # the cell identity JSON.  Smuggled through grid-level
+        # controller_kwargs they would be simulated but not recorded, so
+        # archived sweeps would lie about what ran.
+        identity_keys = {"policy", "utility", "utility_function"} \
+            & set(self.controller_kwargs)
+        if identity_keys:
+            raise ValueError(
+                f"controller_kwargs cannot set {sorted(identity_keys)}; select "
+                f"policies via scheme specs (e.g. 'pcc:gradient') and "
+                f"utilities via the utilities axis so the cell identity "
+                f"records them"
+            )
+        # Variant kwargs are recorded in cell identity JSON; letting grid-level
+        # controller_kwargs override them would make the archived identity lie
+        # about what was simulated.
+        for spec, (_, variant_kwargs) in resolved_specs.items():
+            conflict = set(variant_kwargs) & set(self.controller_kwargs)
+            if conflict:
+                raise ValueError(
+                    f"controller_kwargs {sorted(conflict)} would override the "
+                    f"kwargs recorded for scheme spec {spec!r}"
+                )
+        named_utilities = [u for u in self.utilities if u is not None]
+        for name in named_utilities:
+            # Instantiating validates the name with the registry's canonical
+            # unknown-name error; the throwaway instance is trivial.
+            make_utility(name)
+        if named_utilities:
+            # The utilities axis only configures PCC flows; silently crossing
+            # it with TCP schemes would duplicate cells under different labels.
+            for spec, (base, kwargs) in resolved_specs.items():
+                if base != "pcc":
+                    raise ValueError(
+                        f"the utilities axis applies only to pcc-based "
+                        f"schemes; {spec!r} resolves to base {base!r}"
+                    )
+                if "utility" in kwargs:
+                    raise ValueError(
+                        f"scheme spec {spec!r} already fixes the utility; "
+                        f"it cannot be crossed with a utilities axis"
+                    )
         # Fail fast on unknown topology names, undeclared kwargs, or
         # topology-specific mis-configurations.
         resolved = resolve_topology_kwargs(self.topology, dict(self.topology_kwargs))
-        if self.reverse_loss and not _TOPOLOGY_SUPPORTS_REVERSE_LOSS[self.topology]:
+        topology = _TOPOLOGIES.get(self.topology)
+        if self.reverse_loss and not topology.supports_reverse_loss:
             raise ValueError(
                 f"topology {self.topology!r} does not support reverse_loss"
             )
-        validator = _TOPOLOGY_GRID_VALIDATORS[self.topology]
-        if validator is not None:
-            validator(self, resolved)
+        if topology.validate_grid is not None:
+            topology.validate_grid(self, resolved)
 
     def cells(self, base_seed: int) -> List[SweepCell]:
         """Enumerate the grid with deterministic per-cell seeds."""
@@ -390,8 +557,10 @@ class SweepGrid:
             self.loss_rates,
             self.buffers_bytes,
             self.flow_counts,
+            self.utilities,
         )
-        for index, (scheme, bandwidth, rtt, loss, buffer_bytes, flows) in enumerate(axes):
+        for index, (scheme, bandwidth, rtt, loss, buffer_bytes, flows,
+                    utility) in enumerate(axes):
             out.append(
                 SweepCell(
                     index=index,
@@ -408,6 +577,7 @@ class SweepGrid:
                     controller_kwargs=dict(self.controller_kwargs),
                     topology=self.topology,
                     topology_kwargs=dict(resolved_kwargs),
+                    utility=utility,
                 )
             )
         return out
@@ -427,14 +597,18 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     """
     start = time.perf_counter()
     sim = Simulator(seed=cell.seed)
-    paths = _resolve_topology(cell.topology)(sim, cell)
+    paths = _TOPOLOGIES.get(cell.topology).builder(sim, cell)
+    # The variant/utility kwargs recorded in the cell identity are what the
+    # flows actually receive; grid-level controller_kwargs layer on top.
+    base_scheme = resolve_scheme_spec(cell.scheme)[0]
+    scheme_kwargs = {**cell.resolved_scheme_kwargs(), **cell.controller_kwargs}
     specs = [
         FlowSpec(
-            scheme=cell.scheme,
+            scheme=base_scheme,
             start_time=i * cell.stagger,
             path_index=i,
             label=f"{cell.scheme}-{i}",
-            controller_kwargs=dict(cell.controller_kwargs),
+            controller_kwargs=dict(scheme_kwargs),
         )
         for i in range(cell.num_flows)
     ]
@@ -550,7 +724,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Run a scenario-parameter sweep grid across CPU cores.",
     )
     parser.add_argument("--schemes", nargs="+", default=["pcc", "cubic"],
-                        help="congestion-control schemes (axis 1)")
+                        help="congestion-control schemes (axis 1); pcc entries "
+                             "may carry a registered variant suffix, e.g. "
+                             "pcc:gradient or pcc:latency")
     parser.add_argument("--bandwidth-mbps", nargs="+", type=float, default=[100.0],
                         help="bottleneck rates in Mbps (axis 2)")
     parser.add_argument("--rtt-ms", nargs="+", type=float, default=[30.0],
@@ -564,6 +740,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="concurrent flow counts (axis 6); default 1, or "
                              "1 + hops for parking_lot so every hop carries "
                              "cross traffic")
+    parser.add_argument("--utility", nargs="+", default=None,
+                        choices=sorted(utility_names() + ["default"]),
+                        metavar="NAME",
+                        help="utility functions for pcc-based schemes "
+                             f"(axis 7): {', '.join(utility_names())}, or "
+                             "'default' for the scheme default")
+    parser.add_argument("--policy", nargs="+", default=None,
+                        choices=policy_names(), metavar="NAME",
+                        help="learning policies: each plain 'pcc' entry in "
+                             "--schemes is expanded to one spec per policy "
+                             f"({', '.join(policy_names())}; 'pcc' is the "
+                             "default three-state machine)")
     parser.add_argument("--topology", default="single_bottleneck",
                         choices=topology_names(),
                         help="registered topology builder shared by every cell")
@@ -601,6 +789,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--hops requires --topology parking_lot")
     if args.trace is not None and args.topology != "trace_bottleneck":
         parser.error("--trace requires --topology trace_bottleneck")
+    schemes = list(args.schemes)
+    if args.policy is not None:
+        # Expand each plain pcc entry into one spec per requested policy
+        # ("pcc" itself names the default three-state machine, so it maps to
+        # the unsuffixed spec).  A --policy that cannot apply to any scheme
+        # would silently run a different experiment than asked — error out.
+        if "pcc" not in schemes:
+            parser.error("--policy requires a plain 'pcc' entry in --schemes")
+        expanded: List[str] = []
+        for scheme in schemes:
+            if scheme == "pcc":
+                expanded.extend(
+                    "pcc" if policy == "pcc" else f"pcc:{policy}"
+                    for policy in args.policy
+                )
+            else:
+                expanded.append(scheme)
+        schemes = expanded
+    utilities: List[Optional[str]] = [None]
+    if args.utility is not None:
+        utilities = [None if name == "default" else name for name in args.utility]
     # Only explicitly-passed flags become topology_kwargs; unset ones resolve
     # to the registry's declared defaults (the single source of truth).
     topology_kwargs: Dict[str, Any] = {}
@@ -618,30 +827,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             flows = [1]
     else:
         flows = args.flows
-    grid = SweepGrid(
-        schemes=args.schemes,
-        bandwidths_bps=[mbps * 1e6 for mbps in args.bandwidth_mbps],
-        rtts=[ms / 1e3 for ms in args.rtt_ms],
-        loss_rates=args.loss,
-        buffers_bytes=args.buffer_kb,
-        flow_counts=flows,
-        duration=args.duration,
-        reverse_loss=args.reverse_loss,
-        stagger=args.stagger,
-        topology=args.topology,
-        topology_kwargs=topology_kwargs,
-    )
+    try:
+        grid = SweepGrid(
+            schemes=schemes,
+            bandwidths_bps=[mbps * 1e6 for mbps in args.bandwidth_mbps],
+            rtts=[ms / 1e3 for ms in args.rtt_ms],
+            loss_rates=args.loss,
+            buffers_bytes=args.buffer_kb,
+            flow_counts=flows,
+            utilities=utilities,
+            duration=args.duration,
+            reverse_loss=args.reverse_loss,
+            stagger=args.stagger,
+            topology=args.topology,
+            topology_kwargs=topology_kwargs,
+        )
+    except ValueError as exc:
+        # Mis-combined axes (e.g. a utilities axis over a TCP scheme) carry
+        # their explanation in the exception; surface it as a CLI error.
+        parser.error(str(exc))
     result = sweep(grid, base_seed=args.seed, workers=args.workers)
 
     if args.topology != "single_bottleneck":
         print(f"topology: {args.topology} {json.dumps(resolved_kwargs, sort_keys=True)}")
-    header = f"{'cell':>4}  {'scheme':<12} {'mbps':>7} {'rtt_ms':>7} {'loss':>7} " \
+    header = f"{'cell':>4}  {'scheme':<22} {'mbps':>7} {'rtt_ms':>7} {'loss':>7} " \
              f"{'buf_kb':>8} {'flows':>5} {'goodput':>8}"
     print(header)
     for cell in result.cells:
         identity = cell["cell"]
         goodput = sum(flow["goodput_mbps"] for flow in cell["flows"])
-        print(f"{identity['index']:>4}  {identity['scheme']:<12} "
+        label = identity["scheme"]
+        if "utility" in identity:
+            label = f"{label}+{identity['utility']}"
+        print(f"{identity['index']:>4}  {label:<22} "
               f"{identity['bandwidth_bps'] / 1e6:>7.1f} {identity['rtt'] * 1e3:>7.1f} "
               f"{identity['loss_rate']:>7.4f} {identity['buffer_bytes'] / 1e3:>8.1f} "
               f"{identity['num_flows']:>5} {goodput:>8.2f}")

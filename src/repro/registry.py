@@ -1,0 +1,50 @@
+"""Shared name-registry primitive for the pluggable layers.
+
+Policies, utility functions and scheme variants are all selected by
+JSON-serializable *name*: sweep cells cross process boundaries carrying names,
+and every worker resolves them against its own registry.  That imposes one
+shared contract — entries must be registered at module import time (top level
+of an imported module), because ``spawn``-method workers re-import modules
+from scratch — and one shared error shape, both implemented once here instead
+of once per registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, TypeVar
+
+__all__ = ["NameRegistry"]
+
+T = TypeVar("T")
+
+
+class NameRegistry(Generic[T]):
+    """A write-once mapping from names to entries with uniform error text."""
+
+    def __init__(self, kind: str):
+        #: Human-readable entry kind used in error messages ("policy", ...).
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, entry: T) -> None:
+        """Add ``entry`` under ``name``; duplicate names are an error."""
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = entry
+
+    def get(self, name: str) -> T:
+        """Resolve ``name``, listing the valid names when it is unknown."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

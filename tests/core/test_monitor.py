@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.controller import MIN_RATE_BPS
-from repro.core.metrics import MonitorIntervalStats
 from repro.core.monitor import PerformanceMonitor
 from repro.core.utility import SafeUtility
 from repro.netsim import Simulator

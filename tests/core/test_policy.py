@@ -1,0 +1,256 @@
+"""Tests for the pluggable learning-policy layer.
+
+Covers the policy registry (the name-based currency the experiment layers
+ship across process boundaries) and the continuous gradient-ascent policy:
+its probe cycle, its clipped confidence-scaled steps, and its end-to-end
+convergence inside the simulator.
+"""
+
+import random
+
+import pytest
+
+from repro.core.controller import PCCController
+from repro.core.metrics import MonitorIntervalStats
+from repro.core.policy import (
+    GradientAscentPolicy,
+    RateControlPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+
+def completed_mi(rate_bps, utility, purpose, packets=20):
+    mi = MonitorIntervalStats(0, rate_bps, 0.0, 0.1, purpose=purpose)
+    for _ in range(packets):
+        mi.record_send(1500)
+        mi.record_ack(1500, 0.03)
+    mi.send_phase_over = True
+    mi.completed = True
+    mi.utility = utility
+    return mi
+
+
+def empty_mi(purpose):
+    mi = MonitorIntervalStats(0, 1e6, 0.0, 0.1, purpose=purpose)
+    mi.send_phase_over = True
+    mi.completed = True
+    return mi
+
+
+def exit_starting(policy, peak_utility=100.0):
+    """Walk a gradient policy out of its doubling start phase."""
+    rate1, purpose1 = policy.next_rate(0.0)
+    policy.on_mi_complete(completed_mi(rate1, peak_utility, purpose1))
+    rate2, purpose2 = policy.next_rate(0.1)
+    policy.on_mi_complete(completed_mi(rate2, peak_utility * 0.5, purpose2))
+    return rate1
+
+
+def conclude_pair(policy, u_plus, u_minus, now=1.0):
+    """Issue one probe pair and feed back the given utilities."""
+    results = {}
+    while len(results) < 2:
+        rate, purpose = policy.next_rate(now)
+        assert purpose.kind == "probe"
+        results[purpose.sign] = (rate, purpose)
+        now += 0.1
+    for sign, utility in ((1, u_plus), (-1, u_minus)):
+        rate, purpose = results[sign]
+        policy.on_mi_complete(completed_mi(rate, utility, purpose))
+    return results
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies_registered(self):
+        assert "pcc" in policy_names()
+        assert "gradient" in policy_names()
+
+    def test_make_policy_resolves_names(self):
+        assert isinstance(make_policy("pcc"), PCCController)
+        assert isinstance(make_policy("gradient"), GradientAscentPolicy)
+
+    def test_make_policy_forwards_kwargs(self):
+        policy = make_policy("gradient", epsilon=0.04, min_rate_bps=32_000.0)
+        assert policy.epsilon == 0.04
+        assert policy.min_rate_bps == 32_000.0
+
+    def test_unknown_policy_lists_valid_names(self):
+        with pytest.raises(ValueError, match="gradient"):
+            make_policy("no-such-policy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("pcc", PCCController)
+
+    def test_implementations_satisfy_the_protocol(self):
+        assert isinstance(PCCController(), RateControlPolicy)
+        assert isinstance(GradientAscentPolicy(), RateControlPolicy)
+
+    def test_pcc_controller_reset_initial_rate(self):
+        controller = PCCController(initial_rate_bps=1e6)
+        controller.reset_initial_rate(250_000.0)
+        assert controller.rate_bps == 250_000.0
+        # The next MI starts at the reset rate, then doubling resumes.
+        assert controller.next_rate(0.0)[0] == 250_000.0
+        assert controller.next_rate(0.1)[0] == 500_000.0
+
+    def test_reset_initial_rate_clamps_to_bounds(self):
+        controller = PCCController(min_rate_bps=100_000.0, max_rate_bps=1e9)
+        controller.reset_initial_rate(1.0)
+        assert controller.rate_bps == 100_000.0
+        policy = GradientAscentPolicy(min_rate_bps=100_000.0)
+        policy.reset_initial_rate(1.0)
+        assert policy.rate_bps == 100_000.0
+
+
+class TestGradientStartPhase:
+    def test_rate_doubles_each_interval(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6)
+        rates = [policy.next_rate(i * 0.1)[0] for i in range(4)]
+        assert rates == pytest.approx([1e6, 2e6, 4e6, 8e6])
+
+    def test_first_decrease_exits_to_better_rate(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6)
+        best_rate = exit_starting(policy)
+        assert policy.rate_bps == pytest.approx(best_rate)
+        rate, purpose = policy.next_rate(1.0)
+        assert purpose.kind == "probe"
+
+    def test_reset_initial_rate_restarts_doubling(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6)
+        policy.reset_initial_rate(400_000.0)
+        assert policy.next_rate(0.0)[0] == pytest.approx(400_000.0)
+        assert policy.next_rate(0.1)[0] == pytest.approx(800_000.0)
+
+
+class TestGradientProbing:
+    def test_probe_pair_brackets_base_rate(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, epsilon=0.02)
+        exit_starting(policy)
+        base = policy.rate_bps
+        rate_a, purpose_a = policy.next_rate(1.0)
+        rate_b, purpose_b = policy.next_rate(1.1)
+        assert sorted([rate_a, rate_b]) == pytest.approx(
+            [base * 0.98, base * 1.02])
+        assert {purpose_a.sign, purpose_b.sign} == {1, -1}
+        # With both probes in flight, the policy holds the base rate.
+        rate_c, purpose_c = policy.next_rate(1.2)
+        assert purpose_c.kind == "wait"
+        assert rate_c == pytest.approx(base)
+
+    def test_step_is_gain_times_score(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, epsilon=0.02,
+                                      gain=0.1, max_step=0.25)
+        exit_starting(policy)
+        base = policy.rate_bps
+        conclude_pair(policy, u_plus=2.0, u_minus=1.0)
+        # score = (2 - 1) / (|2| + |1|) = 1/3; first step has streak 1.
+        assert policy.rate_bps == pytest.approx(base * (1.0 + 0.1 / 3.0))
+        assert policy.steps_taken == 1
+
+    def test_streak_scales_and_clips_the_step(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, epsilon=0.02,
+                                      gain=0.1, max_step=0.25)
+        exit_starting(policy)
+        # Maximally decisive pairs: score = 1, so steps are 0.1, 0.2, then
+        # clipped at 0.25 from the third consecutive same-direction pair on.
+        before = policy.rate_bps
+        conclude_pair(policy, 1.0, 0.0)
+        assert policy.rate_bps == pytest.approx(before * 1.1)
+        before = policy.rate_bps
+        conclude_pair(policy, 1.0, 0.0)
+        assert policy.rate_bps == pytest.approx(before * 1.2)
+        before = policy.rate_bps
+        conclude_pair(policy, 1.0, 0.0)
+        assert policy.rate_bps == pytest.approx(before * 1.25)
+
+    def test_reversal_resets_the_streak(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, epsilon=0.02,
+                                      gain=0.1, max_step=0.25)
+        exit_starting(policy)
+        conclude_pair(policy, 1.0, 0.0)
+        conclude_pair(policy, 1.0, 0.0)
+        before = policy.rate_bps
+        conclude_pair(policy, 0.0, 1.0)  # downward now
+        assert policy.rate_bps == pytest.approx(before * 0.9)
+        assert policy.reversals == 1
+
+    def test_zero_gradient_holds_the_rate(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6)
+        exit_starting(policy)
+        before = policy.rate_bps
+        conclude_pair(policy, 1.0, 1.0)
+        assert policy.rate_bps == pytest.approx(before)
+
+    def test_empty_probe_is_requeued(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, epsilon=0.02)
+        exit_starting(policy)
+        rate_a, purpose_a = policy.next_rate(1.0)
+        policy.next_rate(1.1)
+        policy.on_mi_complete(empty_mi(purpose_a))
+        # The re-issued probe repeats the lost sign instead of a fresh pair.
+        rate_c, purpose_c = policy.next_rate(1.2)
+        assert purpose_c.kind == "probe"
+        assert purpose_c.sign == purpose_a.sign
+        assert rate_c == pytest.approx(rate_a)
+
+    def test_stale_epoch_results_are_ignored(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6)
+        exit_starting(policy)
+        rate_a, purpose_a = policy.next_rate(1.0)
+        rate_b, purpose_b = policy.next_rate(1.1)
+        utilities = {1: 1.0, -1: 0.0}
+        policy.on_mi_complete(completed_mi(rate_a, utilities[purpose_a.sign], purpose_a))
+        policy.on_mi_complete(completed_mi(rate_b, utilities[purpose_b.sign], purpose_b))
+        assert policy.steps_taken == 1  # pair concluded, epoch advanced
+        # A late duplicate from the concluded epoch must neither step the
+        # rate again nor corrupt the next pair.
+        before = policy.rate_bps
+        policy.on_mi_complete(completed_mi(rate_a, 999.0, purpose_a))
+        assert policy.rate_bps == pytest.approx(before)
+        assert policy.steps_taken == 1
+
+    def test_probe_order_uses_attached_rng(self):
+        signs = []
+        for seed in range(12):
+            policy = GradientAscentPolicy(initial_rate_bps=1e6)
+            policy.attach_rng(random.Random(seed))
+            exit_starting(policy)
+            signs.append(policy.next_rate(1.0)[1].sign)
+        assert {1, -1} == set(signs)  # both orders occur across seeds
+
+
+class TestGradientValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GradientAscentPolicy(epsilon=0.0)
+        with pytest.raises(ValueError):
+            GradientAscentPolicy(gain=-1.0)
+        with pytest.raises(ValueError):
+            GradientAscentPolicy(max_step=1.5)
+        with pytest.raises(ValueError):
+            GradientAscentPolicy(min_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            GradientAscentPolicy(min_rate_bps=2e6, max_rate_bps=1e6)
+
+    def test_rates_respect_bounds(self):
+        policy = GradientAscentPolicy(initial_rate_bps=1e6, max_rate_bps=3e6)
+        rates = [policy.next_rate(i * 0.1)[0] for i in range(5)]
+        assert max(rates) <= 3e6
+
+
+class TestGradientEndToEnd:
+    def test_converges_on_a_clean_bottleneck(self):
+        from repro.core import make_pcc_sender
+        from repro.netsim import Simulator, single_bottleneck
+
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 20e6, 0.03, buffer_bytes=75_000)
+        sender, _, scheme = make_pcc_sender(sim, 1, topo.path, policy="gradient")
+        sender.start()
+        sim.run(15.0)
+        assert sender.stats.goodput_bps(15.0) > 0.7 * 20e6
+        assert isinstance(scheme.policy, GradientAscentPolicy)
+        assert scheme.policy.steps_taken > 10

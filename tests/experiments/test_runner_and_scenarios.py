@@ -13,6 +13,7 @@ from repro.experiments import (
     run_incast,
     sample_paths,
     shallow_buffer_scenario,
+    utility_ablation_scenario,
     variable_bandwidth_scenario,
 )
 from repro.netsim import FlowSpec, Simulator, single_bottleneck
@@ -150,3 +151,31 @@ class TestRegistry:
         root = os.path.join(os.path.dirname(__file__), "..", "..")
         for exp in list_experiments():
             assert os.path.exists(os.path.join(root, exp.bench)), exp.bench
+
+
+class TestUtilityAblationExperiment:
+    def test_sec44_ablation_registered(self):
+        exp = get_experiment("sec44_ablation")
+        assert exp.scenario.endswith("utility_ablation_scenario")
+        assert exp.bench == "benchmarks/bench_utility_ablation.py"
+        assert "pcc:latency" in exp.schemes
+
+    def test_unknown_experiment_id_lists_valid_ids(self):
+        with pytest.raises(KeyError, match="fig7"):
+            get_experiment("no-such-experiment")
+
+    def test_lossy_environment_orders_utilities(self):
+        outcomes = utility_ablation_scenario("lossy", duration=6.0)
+        assert set(outcomes) == {"safe", "loss_resilient", "latency"}
+        assert (outcomes["loss_resilient"].goodput_mbps
+                > 3.0 * outcomes["safe"].goodput_mbps)
+
+    def test_deep_buffer_environment_orders_rtts(self):
+        outcomes = utility_ablation_scenario(
+            "deep_buffer", utilities=(None, "latency"), duration=6.0)
+        assert (outcomes["latency"].mean_rtt_ms
+                < outcomes["safe"].mean_rtt_ms)
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ValueError, match="lossy"):
+            utility_ablation_scenario("upside_down")

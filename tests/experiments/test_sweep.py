@@ -13,8 +13,11 @@ from repro.experiments.sweep import (
     SweepGrid,
     derive_seed,
     main,
+    register_scheme_variant,
     register_topology,
+    resolve_scheme_spec,
     run_cell,
+    scheme_variant_names,
     sweep,
     topology_names,
 )
@@ -394,3 +397,220 @@ class TestCli:
         assert cell["cell"]["topology"] == "trace_bottleneck"
         assert cell["cell"]["topology_kwargs"]["trace"] == "sawtooth"
         assert cell["flows"][0]["goodput_mbps"] > 0.0
+
+
+class TestGoldenBehaviorPreservation:
+    def test_default_pcc_grid_matches_pre_refactor_golden_json(self, tmp_path):
+        """The policy/utility refactor must change structure, not
+        trajectories: a fixed-seed default-PCC grid reproduces the JSON
+        captured *before* the RateControlPolicy extraction, byte for byte,
+        at any worker count."""
+        import pathlib
+
+        golden_path = (pathlib.Path(__file__).parent / "data"
+                       / "golden_pcc_sweep_seed7.json")
+        grid = SweepGrid(
+            schemes=("pcc",),
+            bandwidths_bps=(5e6, 20e6),
+            rtts=(0.03,),
+            loss_rates=(0.0, 0.01),
+            flow_counts=(1, 2),
+            duration=3.0,
+            stagger=0.5,
+        )
+        result = sweep(grid, base_seed=7, workers=2)
+        out = tmp_path / "sweep.json"
+        result.write(str(out))
+        assert out.read_bytes() == golden_path.read_bytes()
+
+
+class TestSchemeVariants:
+    def test_plain_scheme_resolves_to_itself(self):
+        assert resolve_scheme_spec("pcc") == ("pcc", {})
+        assert resolve_scheme_spec("cubic") == ("cubic", {})
+
+    def test_builtin_variants_registered(self):
+        names = scheme_variant_names()
+        for name in ("gradient", "latency", "loss_resilient", "no_rct"):
+            assert name in names
+
+    def test_variant_resolves_to_controller_kwargs(self):
+        assert resolve_scheme_spec("pcc:gradient") == ("pcc", {"policy": "gradient"})
+        assert resolve_scheme_spec("pcc:latency") == ("pcc", {"utility": "latency"})
+        assert resolve_scheme_spec("pcc:no_rct") == ("pcc", {"use_rct": False})
+
+    def test_unknown_variant_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="no-such-variant"):
+            tiny_grid(schemes=("pcc:no-such-variant",))
+
+    def test_variant_on_wrong_base_scheme_rejected(self):
+        with pytest.raises(ValueError, match="base scheme"):
+            tiny_grid(schemes=("cubic:gradient",))
+
+    def test_duplicate_variant_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheme_variant("gradient", {"policy": "gradient"})
+
+    def test_variant_kwargs_recorded_in_cell_identity(self):
+        grid = tiny_grid(schemes=("pcc:gradient",), loss_rates=(0.0,))
+        cell = grid.cells(0)[0]
+        assert cell.params()["scheme_kwargs"] == {"policy": "gradient"}
+
+    def test_default_cells_carry_no_extra_identity_keys(self):
+        """Plain cells must keep the pre-refactor identity layout so archived
+        sweep JSON stays byte-comparable."""
+        cell = tiny_grid().cells(0)[0]
+        assert "utility" not in cell.params()
+        assert "scheme_kwargs" not in cell.params()
+
+
+class TestUtilitiesAxis:
+    def test_utilities_is_the_fastest_varying_axis(self):
+        grid = tiny_grid(schemes=("pcc",), loss_rates=(0.0, 0.01),
+                         utilities=(None, "latency"))
+        cells = grid.cells(0)
+        assert [(c.loss_rate, c.utility) for c in cells] == [
+            (0.0, None), (0.0, "latency"), (0.01, None), (0.01, "latency"),
+        ]
+
+    def test_utility_recorded_in_cell_identity(self):
+        grid = tiny_grid(schemes=("pcc",), loss_rates=(0.0,),
+                         utilities=("loss_resilient",))
+        params = grid.cells(0)[0].params()
+        assert params["utility"] == "loss_resilient"
+        assert params["scheme_kwargs"] == {"utility": "loss_resilient"}
+
+    def test_empty_utilities_rejected(self):
+        with pytest.raises(ValueError, match="utilities"):
+            tiny_grid(schemes=("pcc",), utilities=())
+
+    def test_unknown_utility_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match="registered"):
+            tiny_grid(schemes=("pcc",), utilities=("no-such-utility",))
+
+    def test_utilities_axis_requires_pcc_schemes(self):
+        with pytest.raises(ValueError, match="pcc"):
+            tiny_grid(utilities=("latency",))  # grid includes cubic
+
+    def test_utilities_axis_conflicts_with_utility_fixing_variant(self):
+        with pytest.raises(ValueError, match="already fixes"):
+            tiny_grid(schemes=("pcc:latency",), utilities=("safe",))
+
+    def test_utility_axis_changes_results(self):
+        base = tiny_grid(schemes=("pcc",), loss_rates=(0.01,), utilities=(None,))
+        resilient = tiny_grid(schemes=("pcc",), loss_rates=(0.01,),
+                              utilities=("loss_resilient",))
+        a = sweep(base, base_seed=5)
+        b = sweep(resilient, base_seed=5)
+        assert a.cells[0]["flows"] != b.cells[0]["flows"]
+
+
+class TestGradientPolicySweeps:
+    def test_gradient_workers_do_not_change_results(self):
+        """The byte-identical-across-worker-counts guarantee must hold for
+        policy-bearing scheme specs too."""
+        grid = tiny_grid(schemes=("pcc", "pcc:gradient"))
+        serial = sweep(grid, base_seed=1, workers=1)
+        parallel = sweep(grid, base_seed=1, workers=4)
+        assert serial.to_json() == parallel.to_json()
+        for cell in serial.find(scheme="pcc:gradient"):
+            assert cell["cell"]["scheme_kwargs"] == {"policy": "gradient"}
+
+    def test_gradient_repeated_runs_identical(self):
+        grid = tiny_grid(schemes=("pcc:gradient",), loss_rates=(0.01,))
+        assert sweep(grid, base_seed=3).to_json() == sweep(grid, base_seed=3).to_json()
+
+    def test_gradient_converges_in_a_sweep_cell(self):
+        grid = tiny_grid(schemes=("pcc:gradient",), loss_rates=(0.0,),
+                         duration=10.0)
+        result = sweep(grid, base_seed=0)
+        assert result.goodput_mbps(scheme="pcc:gradient") > 0.6 * 5.0
+
+
+class TestPolicyUtilityCli:
+    def test_gradient_scheme_spec(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "pcc:gradient",
+            "--bandwidth-mbps", "5",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        (cell,) = json.loads(out.read_text())["cells"]
+        assert cell["cell"]["scheme"] == "pcc:gradient"
+        assert cell["cell"]["scheme_kwargs"] == {"policy": "gradient"}
+
+    def test_utility_flag_builds_the_axis(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "pcc",
+            "--bandwidth-mbps", "5",
+            "--utility", "default", "loss_resilient",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        cells = json.loads(out.read_text())["cells"]
+        assert len(cells) == 2
+        assert "utility" not in cells[0]["cell"]
+        assert cells[1]["cell"]["utility"] == "loss_resilient"
+
+    def test_policy_flag_expands_pcc_entries(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "pcc", "cubic",
+            "--bandwidth-mbps", "5",
+            "--policy", "pcc", "gradient",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        cells = json.loads(out.read_text())["cells"]
+        assert [c["cell"]["scheme"] for c in cells] == [
+            "pcc", "pcc:gradient", "cubic",
+        ]
+
+    def test_policy_flag_requires_a_pcc_scheme(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--schemes", "cubic", "--policy", "gradient"])
+        assert "--policy" in capsys.readouterr().err
+
+    def test_utility_flag_with_tcp_scheme_errors_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--schemes", "cubic", "--utility", "latency"])
+        assert "pcc" in capsys.readouterr().err
+
+
+class TestControllerKwargsIdentityIntegrity:
+    def test_controller_kwargs_cannot_smuggle_policy_or_utility(self):
+        """The policy/utility a cell ran with are identity: they must arrive
+        via scheme specs or the utilities axis (which are recorded), never
+        via grid controller_kwargs (which are not)."""
+        with pytest.raises(ValueError, match="cannot set"):
+            tiny_grid(schemes=("pcc",), loss_rates=(0.0,),
+                      controller_kwargs={"policy": "gradient"})
+        with pytest.raises(ValueError, match="cannot set"):
+            tiny_grid(schemes=("pcc",), loss_rates=(0.0,),
+                      controller_kwargs={"utility": "latency"})
+
+    def test_controller_kwargs_cannot_override_variant_kwargs(self):
+        """The variant kwargs recorded in the identity JSON must be what the
+        flows actually receive; a grid-level override would make archived
+        sweeps lie."""
+        with pytest.raises(ValueError, match="override"):
+            tiny_grid(schemes=("pcc:no_rct",), loss_rates=(0.0,),
+                      controller_kwargs={"use_rct": True})
+
+    def test_controller_kwargs_cannot_set_utility_under_a_utilities_axis(self):
+        with pytest.raises(ValueError, match="utilities axis"):
+            tiny_grid(schemes=("pcc",), utilities=("latency",),
+                      controller_kwargs={"utility": "safe"})
+        with pytest.raises(ValueError, match="utilities axis"):
+            tiny_grid(schemes=("pcc",), utilities=("latency",),
+                      controller_kwargs={"utility_function": object()})
+
+    def test_unrelated_controller_kwargs_still_pass(self):
+        grid = tiny_grid(schemes=("pcc:gradient",),
+                         controller_kwargs={"min_packets_per_mi": 10})
+        assert grid.cells(0)[0].controller_kwargs == {"min_packets_per_mi": 10}

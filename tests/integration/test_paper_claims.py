@@ -4,7 +4,6 @@ These are small/cheap versions of the benchmark scenarios, run as part of the
 normal test suite so regressions in the qualitative results are caught early.
 """
 
-import pytest
 
 from repro.core import make_pcc_sender
 from repro.experiments import (

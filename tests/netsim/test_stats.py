@@ -1,6 +1,5 @@
 """Unit tests for per-flow statistics helpers."""
 
-import math
 
 import pytest
 

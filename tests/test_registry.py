@@ -1,0 +1,28 @@
+"""Tests for the shared name-registry primitive."""
+
+import pytest
+
+from repro.registry import NameRegistry
+
+
+class TestNameRegistry:
+    def test_register_get_names(self):
+        registry = NameRegistry("widget")
+        registry.register("b", 2)
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "c" not in registry
+
+    def test_duplicate_rejected_with_kind_in_message(self):
+        registry = NameRegistry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ValueError, match="widget 'a' is already registered"):
+            registry.register("a", 2)
+
+    def test_unknown_name_lists_registered(self):
+        registry = NameRegistry("widget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        with pytest.raises(ValueError, match="unknown widget 'c'; registered: a, b"):
+            registry.get("c")
