@@ -38,7 +38,7 @@ def _sweep_parking_lot():
     result = sweep(grid, base_seed=1, workers=SWEEP_WORKERS)
     rows = []
     for scheme in SCHEMES:
-        (cell,) = result.find(scheme=scheme)
+        (cell,) = result.filter(scheme=scheme)
         long_mbps = cell["flows"][0]["goodput_mbps"]
         cross = [flow["goodput_mbps"] for flow in cell["flows"][1:]]
         rows.append({

@@ -2,8 +2,11 @@
 
 Declares a small loss-rate sweep comparing PCC with CUBIC, runs it with
 deterministic per-cell seeds (the results are bit-identical no matter how many
-workers are used), prints the grid, and writes the canonical JSON next to this
-script.
+workers are used), streams per-cell records to a resumable JSONL file as they
+complete, prints the grid via the ResultSet query helpers, and writes the
+canonical JSON next to this script.  Because the run passes the same path as
+``jsonl_path`` and ``resume_from``, re-running this script after interrupting
+it simulates only the cells that were not yet on disk.
 
 Run with:  python examples/sweep_quickstart.py
 
@@ -11,7 +14,8 @@ The same sweep is available from the command line:
 
     python -m repro.experiments.sweep \
         --schemes pcc cubic --bandwidth-mbps 25 --loss 0.0 0.01 0.02 \
-        --duration 10 --seed 1 --workers 4 --output sweep.json
+        --duration 10 --seed 1 --workers 4 \
+        --jsonl sweep.jsonl --resume-from sweep.jsonl --output sweep.json
 """
 
 import os
@@ -29,19 +33,28 @@ def main() -> None:
         duration=10.0,
     )
     workers = min(4, os.cpu_count() or 1)
-    result = sweep(grid, base_seed=1, workers=workers)
+    here = os.path.dirname(__file__)
+    jsonl = os.path.join(here, "sweep_quickstart.jsonl")
+    # Idempotent, crash-restartable: finished cells are appended to the JSONL
+    # as they complete, and a re-run resumes from whatever is already there.
+    result = sweep(grid, base_seed=1, workers=workers,
+                   jsonl_path=jsonl, resume_from=jsonl)
 
     print(f"=== loss sweep on a 25 Mbps / 30 ms link ({workers} workers) ===")
     print(f"{'scheme':<8} {'loss':>6} {'goodput_mbps':>13}")
-    for cell in result.cells:
-        identity = cell["cell"]
-        goodput = sum(flow["goodput_mbps"] for flow in cell["flows"])
-        print(f"{identity['scheme']:<8} {identity['loss_rate']:>6.3f} {goodput:>13.2f}")
+    for scheme, per_scheme in result.groupby("scheme").items():
+        for cell in per_scheme:
+            goodput = sum(flow["goodput_mbps"] for flow in cell["flows"])
+            print(f"{scheme:<8} {cell['cell']['loss_rate']:>6.3f} {goodput:>13.2f}")
+    means = result.aggregate("goodput_mbps", by="scheme")
+    for scheme in sorted(means):
+        print(f"mean over the loss axis: {scheme:<8} {means[scheme]:.2f} Mbps")
     print(f"\n{result.total_events:,} simulator events, "
           f"{result.events_per_second():,.0f} events/s across the sweep")
 
-    output = os.path.join(os.path.dirname(__file__), "sweep_quickstart.json")
+    output = os.path.join(here, "sweep_quickstart.json")
     result.write(output)
+    print(f"per-cell records streamed to {jsonl}")
     print(f"canonical results written to {output}")
 
 

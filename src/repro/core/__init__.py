@@ -16,6 +16,7 @@ The package decomposes exactly as Figure 2 of the paper does:
   network simulator's rate-paced sender.
 """
 
+from ..schemes import register_scheme, register_scheme_variant
 from .metrics import MonitorIntervalStats
 from .utility import (
     LatencyUtility,
@@ -38,6 +39,29 @@ from .policy import (
     register_policy,
 )
 from .sender import PCCScheme, make_pcc_sender
+
+# PCC registers itself (and its named variants) with the scheme registry at
+# import time, exactly like the baselines in repro.cc: spawn-method sweep
+# workers re-import this module before resolving scheme names.
+register_scheme("pcc", PCCScheme, "rate",
+                description="performance-oriented congestion control (the paper)")
+register_scheme_variant(
+    "gradient", {"policy": "gradient"},
+    description="continuous gradient-ascent learning policy (vs the "
+                "three-state RCT machine)")
+register_scheme_variant(
+    "latency", {"utility": "latency"},
+    description="§4.4.1 interactive-flow (power-maximising) utility")
+register_scheme_variant(
+    "loss_resilient", {"utility": "loss_resilient"},
+    description="§4.4.2 loss-resilient utility T * (1 - L)")
+register_scheme_variant(
+    "simple", {"utility": "simple"},
+    description="pre-sigmoid derivation utility T - x * L")
+register_scheme_variant(
+    "no_rct", {"use_rct": False},
+    description="§4.2.2 ablation: single trial pair instead of randomized "
+                "controlled trials")
 
 __all__ = [
     "MonitorIntervalStats",

@@ -29,6 +29,7 @@ from .internet import (
 from .interdc import PAPER_PAIRS, InterDCPair, run_pair, run_table
 from .incast import run_incast
 from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
+from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
 
 #: Lazily re-exported from :mod:`.sweep` (PEP 562) so that running the sweep
 #: CLI as ``python -m repro.experiments.sweep`` does not import the module
@@ -40,7 +41,6 @@ from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
 _SWEEP_EXPORTS = (
     "SweepCell",
     "SweepGrid",
-    "SweepResult",
     "derive_seed",
     "register_scheme_variant",
     "register_topology",
@@ -97,9 +97,12 @@ __all__ = [
     "Experiment",
     "get_experiment",
     "list_experiments",
+    "ResultSet",
+    "ResultSetWriter",
+    "SweepResult",
+    "cell_identity_key",
     "SweepCell",
     "SweepGrid",
-    "SweepResult",
     "derive_seed",
     "register_scheme_variant",
     "register_topology",

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..schemes import SchemeSpec
+
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
 
@@ -22,8 +24,14 @@ class Experiment:
     paper_section: str
     scenario: str          # module.function implementing the workload
     bench: str             # benchmark file that regenerates it
+    #: Scheme specs (``repro.schemes`` registry names, variant suffixes
+    #: allowed) the experiment compares; empty for analytical experiments.
     schemes: tuple
     notes: str = ""
+
+    def scheme_specs(self) -> List[SchemeSpec]:
+        """The experiment's schemes resolved against the scheme registry."""
+        return [SchemeSpec.parse(scheme) for scheme in self.schemes]
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -148,10 +156,18 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "theorems", "Theorem 1 (equilibrium) and Theorem 2 (dynamics)", "2.2",
             "repro.analysis", "benchmarks/bench_theorems.py",
-            ("fluid model",),
+            (),
+            "analytical fluid-model results; no packet-level scheme involved",
         ),
     ]
 }
+
+# Every scheme spec named by an experiment must resolve against the scheme
+# registry — a registry/index drift (a renamed variant, a typo'd scheme)
+# fails at import time with the registry's own naming error, not when a
+# benchmark finally tries to simulate it.
+for _experiment in EXPERIMENTS.values():
+    _experiment.scheme_specs()
 
 
 def get_experiment(experiment_id: str) -> Experiment:

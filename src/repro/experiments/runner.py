@@ -1,31 +1,19 @@
 """Experiment runner: turn flow specs into senders and collect results.
 
-The runner is the single place where congestion-control scheme names (the
-strings used in :class:`repro.netsim.flows.FlowSpec`) are resolved into
-concrete sender objects.  Every benchmark and example goes through
-:func:`run_flows`, so scenarios stay declarative: build a topology, list the
-flows, pick a duration.
+Scheme names (the strings used in :class:`repro.netsim.flows.FlowSpec`,
+including ``"pcc:gradient"``-style variant specs) are resolved against the
+:mod:`repro.schemes` registry — a scheme registered once there is usable here,
+in sweep grids and in the sweep CLI with no further edits.  Every benchmark
+and example goes through :func:`run_flows`, so scenarios stay declarative:
+build a topology, list the flows, pick a duration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..cc import (
-    BicController,
-    CubicController,
-    HyblaController,
-    IllinoisController,
-    NewRenoController,
-    PacedRenoController,
-    ParallelTcpBundle,
-    PcpController,
-    SabulController,
-    VegasController,
-    WestwoodController,
-)
-from ..core import PCCScheme
+from ..schemes import SchemeSpec, available_schemes
 from ..netsim import (
     DEFAULT_MSS,
     FlowSpec,
@@ -40,32 +28,6 @@ from ..netsim import (
 )
 
 __all__ = ["FlowResult", "ScenarioResult", "run_flows", "available_schemes"]
-
-#: Names of the window-based TCP variants and their controller classes.
-_WINDOW_CONTROLLERS: Dict[str, Callable] = {
-    "reno": NewRenoController,
-    "newreno": NewRenoController,
-    "cubic": CubicController,
-    "illinois": IllinoisController,
-    "hybla": HyblaController,
-    "vegas": VegasController,
-    "bic": BicController,
-    "westwood": WestwoodController,
-    "reno_paced": PacedRenoController,
-}
-
-#: Names of the rate-based baselines and their controller classes.
-_RATE_CONTROLLERS: Dict[str, Callable] = {
-    "sabul": SabulController,
-    "pcp": PcpController,
-}
-
-
-def available_schemes() -> List[str]:
-    """All scheme names :func:`run_flows` understands."""
-    return sorted(
-        list(_WINDOW_CONTROLLERS) + list(_RATE_CONTROLLERS) + ["pcc", "parallel_tcp"]
-    )
 
 
 @dataclass
@@ -177,24 +139,40 @@ def _build_flow(
 ) -> FlowResult:
     """Instantiate the sender(s), receiver(s) and stats for one flow spec."""
     result = FlowResult(spec=spec)
-    scheme = spec.scheme.lower()
-    kwargs = dict(spec.controller_kwargs)
+    parsed = SchemeSpec.parse(spec.scheme)
+    info = parsed.info()
+    # Declared defaults merged under the variant's kwargs, then the flow
+    # spec's explicit kwargs on top (the same precedence the sweep layer
+    # records in cell identity JSON).
+    kwargs = {**info.kwarg_defaults, **parsed.kwargs, **spec.controller_kwargs}
     # Each flow gets its own Path object (sharing the underlying links) because
     # binding a receiver/sender pair to a Path attaches that pair's callbacks.
     path = _clone_path(path)
 
-    if scheme == "parallel_tcp":
-        bundle = ParallelTcpBundle(
-            scheme=kwargs.pop("bundle_scheme", "cubic"),
-            bundle_size=kwargs.pop("bundle_size", 10),
-        )
-        controller_cls = _WINDOW_CONTROLLERS[bundle.scheme]
+    if info.sender_kind == "bundle":
+        # The registry's declared kwargs configure the bundle descriptor;
+        # everything else is forwarded to the sub-flow controllers.
+        bundle_kwargs = {key: kwargs.pop(key) for key in list(kwargs)
+                         if key in info.kwarg_defaults}
+        bundle = info.factory(**bundle_kwargs)
+        sub = SchemeSpec.parse(bundle.scheme)
+        sub_info = sub.info()
+        if sub_info.sender_kind != "windowed":
+            raise ValueError(
+                f"bundle scheme {spec.scheme!r} expands into {bundle.scheme!r} "
+                f"sub-flows, which is a {sub_info.sender_kind!r} scheme; "
+                f"bundles require a windowed one"
+            )
+        sub_kwargs = {**sub_info.kwarg_defaults, **sub.kwargs, **kwargs}
         for offset, size in enumerate(bundle.split_bytes(spec.size_bytes)):
+            controller = sub_info.factory(**sub_kwargs)
+            pacing = bool(getattr(controller, "requires_pacing", False))
             stats = FlowStats(flow_id * 1000 + offset, bin_width=bin_width)
             receiver = Receiver(sim, stats.flow_id, stats)
             sender = WindowedSender(
-                sim, stats.flow_id, _clone_path(path), controller_cls(**kwargs),
+                sim, stats.flow_id, _clone_path(path), controller,
                 stats, total_bytes=size, mss=mss, start_time=spec.start_time,
+                pacing=pacing,
             )
             connect(sender, receiver, sender.path)
             result.senders.append(sender)
@@ -204,30 +182,19 @@ def _build_flow(
 
     stats = FlowStats(flow_id, bin_width=bin_width)
     receiver = Receiver(sim, flow_id, stats)
-    if scheme == "pcc":
-        controller = PCCScheme(mss=mss, **kwargs)
+    if info.sender_kind == "rate":
+        controller = info.factory(mss=mss, **kwargs)
         sender: SenderBase = RateBasedSender(
             sim, flow_id, path, controller, stats,
             total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
         )
-    elif scheme in _RATE_CONTROLLERS:
-        controller = _RATE_CONTROLLERS[scheme](mss=mss, **kwargs)
-        sender = RateBasedSender(
-            sim, flow_id, path, controller, stats,
-            total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
-        )
-    elif scheme in _WINDOW_CONTROLLERS:
-        controller = _WINDOW_CONTROLLERS[scheme](**kwargs)
+    else:  # "windowed"
+        controller = info.factory(**kwargs)
         pacing = bool(getattr(controller, "requires_pacing", False))
         sender = WindowedSender(
             sim, flow_id, path, controller, stats,
             total_bytes=spec.size_bytes, mss=mss, start_time=spec.start_time,
             pacing=pacing,
-        )
-    else:
-        raise ValueError(
-            f"unknown congestion-control scheme {spec.scheme!r}; "
-            f"known schemes: {', '.join(available_schemes())}"
         )
     connect(sender, receiver, path)
     result.senders.append(sender)

@@ -9,21 +9,27 @@ place that fan-out lives:
   registered **topology builder** (``single_bottleneck`` by default, plus
   ``parking_lot`` multi-bottleneck chains and ``trace_bottleneck``
   time-varying links; extendable via :func:`register_topology`);
-* scheme entries may carry a **variant** suffix (``"pcc:gradient"``,
-  ``"pcc:latency"``, …) resolved against the :func:`register_scheme_variant`
-  registry into controller kwargs (a learning policy, a utility function, an
-  ablation switch), and the grid has a ``utilities`` axis crossing registered
-  utility names with every other axis — the §4.4 flexibility experiments as
-  first-class sweep dimensions;
+* scheme entries are **scheme specs** resolved against the
+  :mod:`repro.schemes` registry — any registered base name plus optional
+  variant suffix (``"pcc:gradient"``, ``"pcc:latency"``, …) naming controller
+  kwargs (a learning policy, a utility function, an ablation switch) — and
+  the grid has a ``utilities`` axis crossing registered utility names with
+  every other axis, the §4.4 flexibility experiments as first-class sweep
+  dimensions;
 * :func:`sweep` fans the cells out across CPU cores with
   :mod:`multiprocessing`, seeding every cell deterministically from
   ``(base_seed, cell_index)`` via :func:`derive_seed`, so the result is
   **bit-identical regardless of worker count**;
-* :class:`SweepResult` persists per-cell flow summaries plus engine counters
-  (``events_processed``, simulated seconds) to canonical JSON for trajectory
-  tracking, with per-cell wall times kept out of the canonical payload so two
-  runs of the same grid produce byte-identical files;
-* ``python -m repro.experiments.sweep`` exposes the same machinery as a CLI.
+* results are a streaming, resumable
+  :class:`~repro.experiments.results.ResultSet`: pass ``jsonl_path`` to
+  append identity-keyed records to disk as cells complete, and
+  ``resume_from`` to skip every cell whose identity already appears in a
+  prior (possibly interrupted) run's file; the canonical
+  :meth:`~repro.experiments.results.ResultSet.to_json` view keeps per-cell
+  wall times out of the payload, so two runs of the same grid — resumed or
+  not — produce byte-identical files;
+* ``python -m repro.experiments.sweep`` exposes the same machinery as a CLI
+  (``--jsonl`` / ``--resume-from`` included).
 
 The per-figure benchmarks in ``benchmarks/`` build their grids here instead of
 hand-rolling serial loops over :func:`repro.experiments.run_flows`.
@@ -34,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -42,6 +49,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import make_utility, policy_names, utility_names
 from ..registry import NameRegistry
+from ..schemes import (
+    SchemeSpec,
+    register_scheme_variant,
+    resolve_scheme_spec,
+    scheme_variant_names,
+)
+from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
 from ..netsim import (
     SYNTHETIC_TRACES,
     FlowSpec,
@@ -57,9 +71,12 @@ from ..netsim import (
 from .runner import run_flows
 
 __all__ = [
+    "ResultSet",
+    "ResultSetWriter",
     "SweepCell",
     "SweepGrid",
     "SweepResult",
+    "cell_identity_key",
     "derive_seed",
     "register_scheme_variant",
     "register_topology",
@@ -94,86 +111,6 @@ def derive_seed(base_seed: int, cell_index: int) -> int:
     return z & 0x7FFF_FFFF_FFFF_FFFF
 
 
-# --------------------------------------------------------------------------- #
-# Scheme-variant registry
-# --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class _SchemeVariant:
-    base_scheme: str
-    controller_kwargs: Dict[str, Any]
-    description: str
-
-
-_SCHEME_VARIANTS: NameRegistry[_SchemeVariant] = NameRegistry("scheme variant")
-
-
-def register_scheme_variant(
-    name: str,
-    controller_kwargs: Dict[str, Any],
-    base_scheme: str = "pcc",
-    description: str = "",
-) -> None:
-    """Register a scheme variant usable in grid specs as ``"<base>:<name>"``.
-
-    A variant is a named bundle of JSON-serializable controller kwargs — a
-    learning policy (``{"policy": "gradient"}``), a utility function
-    (``{"utility": "latency"}``), an ablation switch (``{"use_rct": False}``)
-    — layered onto ``base_scheme`` when the cell is simulated and recorded in
-    the cell's identity JSON under ``scheme_kwargs``.  Like every
-    :class:`~repro.registry.NameRegistry`, registration must happen at module
-    import time so spawn-method sweep workers can resolve the name.
-    """
-    _SCHEME_VARIANTS.register(name, _SchemeVariant(
-        base_scheme=base_scheme,
-        controller_kwargs=dict(controller_kwargs),
-        description=description,
-    ))
-
-
-def scheme_variant_names() -> List[str]:
-    """All registered scheme-variant names, sorted."""
-    return _SCHEME_VARIANTS.names()
-
-
-def resolve_scheme_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
-    """Split a grid scheme spec into ``(base_scheme, controller_kwargs)``.
-
-    A plain scheme name (``"pcc"``, ``"cubic"``) resolves to itself with no
-    extra kwargs; ``"pcc:gradient"`` resolves via the variant registry.
-    Unknown variants, or variants applied to the wrong base scheme, raise
-    ``ValueError`` so grids fail at construction rather than mid-sweep.
-    """
-    base, sep, variant = spec.partition(":")
-    if not sep:
-        return spec, {}
-    info = _SCHEME_VARIANTS.get(variant)
-    if base != info.base_scheme:
-        raise ValueError(
-            f"scheme variant {variant!r} applies to base scheme "
-            f"{info.base_scheme!r}, not {base!r}"
-        )
-    return base, dict(info.controller_kwargs)
-
-
-register_scheme_variant(
-    "gradient", {"policy": "gradient"},
-    description="continuous gradient-ascent learning policy (vs the "
-                "three-state RCT machine)")
-register_scheme_variant(
-    "latency", {"utility": "latency"},
-    description="§4.4.1 interactive-flow (power-maximising) utility")
-register_scheme_variant(
-    "loss_resilient", {"utility": "loss_resilient"},
-    description="§4.4.2 loss-resilient utility T * (1 - L)")
-register_scheme_variant(
-    "simple", {"utility": "simple"},
-    description="pre-sigmoid derivation utility T - x * L")
-register_scheme_variant(
-    "no_rct", {"use_rct": False},
-    description="§4.2.2 ablation: single trial pair instead of randomized "
-                "controlled trials")
-
-
 @dataclass
 class SweepCell:
     """One fully-resolved point of a sweep grid."""
@@ -203,12 +140,16 @@ class SweepCell:
     def resolved_scheme_kwargs(self) -> Dict[str, Any]:
         """Controller kwargs this cell's scheme spec + utility resolve to.
 
-        The variant registry's kwargs come first, then the ``utilities`` axis
-        value; grid-level ``controller_kwargs`` are layered on top at
-        simulation time (they may contain non-JSON objects, so they are not
-        part of the identity).  Empty for a plain default cell.
+        The scheme registry's declared kwarg defaults come first (resolved
+        into the identity so archived sweeps keep their meaning even if a
+        registry default changes later), then the variant's kwargs, then the
+        ``utilities`` axis value; grid-level ``controller_kwargs`` are layered
+        on top at simulation time (they may contain non-JSON objects, so they
+        are not part of the identity — :class:`SweepGrid` rejects ones that
+        would override a recorded key).  Empty for a plain default cell.
         """
-        kwargs = resolve_scheme_spec(self.scheme)[1]
+        parsed = SchemeSpec.parse(self.scheme)
+        kwargs = {**parsed.info().kwarg_defaults, **parsed.kwargs}
         if self.utility is not None:
             kwargs["utility"] = self.utility
         return kwargs
@@ -236,8 +177,11 @@ class SweepCell:
             "topology": self.topology,
             "topology_kwargs": dict(self.topology_kwargs),
         }
-        # Only non-default cells carry the extra keys, so grids that predate
-        # the policy/utility axes keep producing byte-identical JSON.
+        # Cells whose scheme needs no kwargs (every paper grid: pcc and the
+        # TCP family declare no defaults) carry neither extra key, so archived
+        # JSON from before the policy/utility axes stays byte-comparable;
+        # schemes with declared kwarg defaults (parallel_tcp's bundle shape)
+        # record them so the archive fully specifies what was simulated.
         if self.utility is not None:
             out["utility"] = self.utility
         scheme_kwargs = self.resolved_scheme_kwargs()
@@ -483,11 +427,9 @@ class SweepGrid:
         if not self.utilities:
             raise ValueError("a sweep grid needs at least one utilities entry "
                              "(use (None,) for the scheme default)")
-        # Resolve every scheme spec now: unknown variants fail at grid
-        # construction, not mid-sweep inside a worker.
-        resolved_specs = {
-            spec: resolve_scheme_spec(spec) for spec in self.schemes
-        }
+        # Resolve every scheme spec now: unknown schemes and variants fail at
+        # grid construction, not mid-sweep inside a worker.
+        parsed_specs = {spec: SchemeSpec.parse(spec) for spec in self.schemes}
         # The policy and utility a cell ran with are identity: they must
         # arrive via scheme specs or the utilities axis, which are recorded in
         # the cell identity JSON.  Smuggled through grid-level
@@ -502,15 +444,17 @@ class SweepGrid:
                 f"utilities via the utilities axis so the cell identity "
                 f"records them"
             )
-        # Variant kwargs are recorded in cell identity JSON; letting grid-level
-        # controller_kwargs override them would make the archived identity lie
-        # about what was simulated.
-        for spec, (_, variant_kwargs) in resolved_specs.items():
-            conflict = set(variant_kwargs) & set(self.controller_kwargs)
+        # Registry kwarg defaults and variant kwargs are recorded in cell
+        # identity JSON; letting grid-level controller_kwargs override either
+        # would make the archived identity lie about what was simulated.
+        for spec, parsed in parsed_specs.items():
+            recorded = {**parsed.info().kwarg_defaults, **parsed.kwargs}
+            conflict = set(recorded) & set(self.controller_kwargs)
             if conflict:
                 raise ValueError(
                     f"controller_kwargs {sorted(conflict)} would override the "
-                    f"kwargs recorded for scheme spec {spec!r}"
+                    f"kwargs recorded for scheme spec {spec!r}; register a "
+                    f"scheme variant to vary them"
                 )
         named_utilities = [u for u in self.utilities if u is not None]
         for name in named_utilities:
@@ -520,13 +464,13 @@ class SweepGrid:
         if named_utilities:
             # The utilities axis only configures PCC flows; silently crossing
             # it with TCP schemes would duplicate cells under different labels.
-            for spec, (base, kwargs) in resolved_specs.items():
-                if base != "pcc":
+            for spec, parsed in parsed_specs.items():
+                if parsed.base != "pcc":
                     raise ValueError(
                         f"the utilities axis applies only to pcc-based "
-                        f"schemes; {spec!r} resolves to base {base!r}"
+                        f"schemes; {spec!r} resolves to base {parsed.base!r}"
                     )
-                if "utility" in kwargs:
+                if "utility" in parsed.kwargs:
                     raise ValueError(
                         f"scheme spec {spec!r} already fixes the utility; "
                         f"it cannot be crossed with a utilities axis"
@@ -592,19 +536,23 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     ``1 + i`` the hop-``i`` cross flow).  The returned dict contains the
     deterministic payload (cell identity, flow summaries, engine counters)
     plus the non-deterministic ``wall_time_s``, which :func:`sweep` strips
-    into :attr:`SweepResult.timings` so that the canonical JSON stays
-    byte-identical run to run.
+    into :attr:`~repro.experiments.results.ResultSet.timings` so that the
+    canonical JSON stays byte-identical run to run.
     """
     start = time.perf_counter()
     sim = Simulator(seed=cell.seed)
     paths = _TOPOLOGIES.get(cell.topology).builder(sim, cell)
-    # The variant/utility kwargs recorded in the cell identity are what the
-    # flows actually receive; grid-level controller_kwargs layer on top.
-    base_scheme = resolve_scheme_spec(cell.scheme)[0]
-    scheme_kwargs = {**cell.resolved_scheme_kwargs(), **cell.controller_kwargs}
+    # The full scheme spec goes to the runner, which resolves any variant
+    # against the scheme registry — the identical resolution recorded in the
+    # cell identity.  The utilities-axis value and grid-level
+    # controller_kwargs layer on top.
+    extra_kwargs: Dict[str, Any] = {}
+    if cell.utility is not None:
+        extra_kwargs["utility"] = cell.utility
+    scheme_kwargs = {**extra_kwargs, **cell.controller_kwargs}
     specs = [
         FlowSpec(
-            scheme=base_scheme,
+            scheme=cell.scheme,
             start_time=i * cell.stagger,
             path_index=i,
             label=f"{cell.scheme}-{i}",
@@ -626,86 +574,99 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     }
 
 
-@dataclass
-class SweepResult:
-    """Outcome of one sweep: deterministic payload plus per-cell wall times."""
-
-    base_seed: int
-    cells: List[Dict[str, Any]]
-    timings: List[float]
-
-    # -- persistence ----------------------------------------------------------
-    def to_json(self, include_timing: bool = False) -> str:
-        """Canonical JSON: sorted keys, fixed layout, byte-identical for the
-        same grid and base seed regardless of worker count.  ``include_timing``
-        adds the (non-deterministic) per-cell wall times for profiling runs."""
-        payload: Dict[str, Any] = {"base_seed": self.base_seed, "cells": self.cells}
-        if include_timing:
-            payload["timing"] = {
-                "wall_time_s": self.timings,
-                "total_wall_time_s": sum(self.timings),
-            }
-        return json.dumps(payload, indent=2, sort_keys=True)
-
-    def write(self, path: str, include_timing: bool = False) -> None:
-        """Persist the sweep to ``path`` (trailing newline for POSIX tools)."""
-        with open(path, "w") as handle:
-            handle.write(self.to_json(include_timing=include_timing))
-            handle.write("\n")
-
-    # -- lookups --------------------------------------------------------------
-    def find(self, **params: Any) -> List[Dict[str, Any]]:
-        """Cells whose identity matches every given ``cell`` parameter."""
-        matches = []
-        for cell in self.cells:
-            identity = cell["cell"]
-            if all(identity.get(key) == value for key, value in params.items()):
-                matches.append(cell)
-        return matches
-
-    def goodput_mbps(self, **params: Any) -> float:
-        """Total goodput (Mbps, summed over flows) of the single matching cell."""
-        matches = self.find(**params)
-        if len(matches) != 1:
-            raise KeyError(f"{len(matches)} cells match {params!r}, expected exactly 1")
-        return sum(flow["goodput_mbps"] for flow in matches[0]["flows"])
-
-    # -- trajectory metrics ---------------------------------------------------
-    @property
-    def total_events(self) -> int:
-        return sum(cell["engine"]["events_processed"] for cell in self.cells)
-
-    @property
-    def total_wall_time_s(self) -> float:
-        return sum(self.timings)
-
-    def events_per_second(self) -> float:
-        """Aggregate simulator events per wall-clock second across all cells."""
-        wall = self.total_wall_time_s
-        return self.total_events / wall if wall > 0 else 0.0
+def _run_positioned_cell(item: Tuple[int, SweepCell]) -> Tuple[int, Dict[str, Any]]:
+    """Worker shim: keep the cell's grid position with its outcome, so the
+    parent can stream completion-ordered results and still assemble the
+    canonical cell-index ordering."""
+    position, cell = item
+    return position, run_cell(cell)
 
 
 def sweep(
     grid: SweepGrid,
     base_seed: int = 0,
     workers: int = 1,
-) -> SweepResult:
+    jsonl_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+) -> ResultSet:
     """Run every cell of ``grid``, fanning out across ``workers`` processes.
 
-    Results are returned in cell-index order and are bit-identical for any
-    ``workers`` value because each cell owns a private simulator seeded by
-    :func:`derive_seed`; the workers share no random state.
+    The returned :class:`~repro.experiments.results.ResultSet` is in
+    cell-index order and bit-identical for any ``workers`` value because each
+    cell owns a private simulator seeded by :func:`derive_seed`; the workers
+    share no random state.
+
+    ``jsonl_path`` streams each cell's record to disk the moment it completes
+    (appending when it is the same file as ``resume_from``, otherwise starting
+    fresh), so an interrupted sweep loses at most the in-flight cells.
+    ``resume_from`` loads a prior run — a streaming JSONL file or a legacy
+    canonical JSON — and skips every grid cell whose identity already appears
+    there, simulating only the missing ones; a path that does not exist yet is
+    treated as an empty prior run, so ``sweep(grid, jsonl_path=p,
+    resume_from=p)`` is an idempotent, crash-restartable invocation.  The
+    prior file must have been produced with the same ``base_seed`` (cell
+    identities embed their derived seeds, so a mismatch could never match
+    anyway — it is reported as the error it is).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     cells = grid.cells(base_seed)
-    if workers == 1 or len(cells) <= 1:
-        outcomes = [run_cell(cell) for cell in cells]
-    else:
-        with multiprocessing.Pool(processes=min(workers, len(cells))) as pool:
-            outcomes = pool.map(run_cell, cells, chunksize=1)
-    timings = [outcome.pop("wall_time_s") for outcome in outcomes]
-    return SweepResult(base_seed=base_seed, cells=outcomes, timings=timings)
+    outcomes: Dict[int, Tuple[Dict[str, Any], float]] = {}
+    if resume_from is not None and os.path.exists(resume_from):
+        prior = ResultSet.load(resume_from)
+        if prior.base_seed != base_seed:
+            raise ValueError(
+                f"cannot resume from {resume_from}: it was produced with "
+                f"base_seed {prior.base_seed}, not {base_seed}"
+            )
+        have = {cell_identity_key(record["cell"]): (record, wall)
+                for record, wall in zip(prior.cells, prior.timings)}
+        for position, cell in enumerate(cells):
+            hit = have.get(cell_identity_key(cell.params()))
+            if hit is not None:
+                outcomes[position] = hit
+    pending = [(position, cell) for position, cell in enumerate(cells)
+               if position not in outcomes]
+    writer: Optional[ResultSetWriter] = None
+    if jsonl_path is not None:
+        continuing = (resume_from is not None
+                      and os.path.exists(jsonl_path)
+                      and os.path.abspath(jsonl_path) == os.path.abspath(resume_from))
+        writer = ResultSetWriter(jsonl_path, base_seed=base_seed,
+                                 append=continuing)
+        if not continuing:
+            # A fresh stream file should be complete on its own: carry the
+            # records reused from resume_from over, so the produced JSONL is
+            # loadable/resumable without the prior file.  (When continuing
+            # the same file, they are already in it.)
+            for position in sorted(outcomes):
+                record, wall = outcomes[position]
+                writer.write(record, wall_time_s=wall)
+    try:
+        def take(position: int, outcome: Dict[str, Any]) -> None:
+            wall = outcome.pop("wall_time_s")
+            if writer is not None:
+                writer.write(outcome, wall_time_s=wall)
+            outcomes[position] = (outcome, wall)
+
+        if workers == 1 or len(pending) <= 1:
+            for position, cell in pending:
+                take(position, run_cell(cell))
+        elif pending:
+            with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+                # imap_unordered: records hit the JSONL stream the moment each
+                # cell completes, not when its pool slot's turn comes up.
+                for position, outcome in pool.imap_unordered(
+                        _run_positioned_cell, pending, chunksize=1):
+                    take(position, outcome)
+    finally:
+        if writer is not None:
+            writer.close()
+    result = ResultSet(base_seed=base_seed)
+    for position in sorted(outcomes):
+        record, wall = outcomes[position]
+        result.append(record, wall)
+    return result
 
 
 # --------------------------------------------------------------------------- #
@@ -774,6 +735,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="worker processes (results identical for any value)")
     parser.add_argument("--output", default=None,
                         help="write canonical sweep JSON to this path")
+    parser.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="stream per-cell records to this JSON-Lines file "
+                             "as they complete (with --resume-from pointing "
+                             "at the same file, the file accumulates toward "
+                             "the full grid across restarts)")
+    parser.add_argument("--resume-from", default=None, metavar="PATH",
+                        help="skip cells whose identity already appears in "
+                             "this result file (a --jsonl stream or a legacy "
+                             "--output JSON) and run only the missing ones")
     parser.add_argument("--timing", action="store_true",
                         help="include per-cell wall times in the JSON output")
     return parser
@@ -846,7 +816,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Mis-combined axes (e.g. a utilities axis over a TCP scheme) carry
         # their explanation in the exception; surface it as a CLI error.
         parser.error(str(exc))
-    result = sweep(grid, base_seed=args.seed, workers=args.workers)
+    if args.resume_from is not None and not os.path.exists(args.resume_from):
+        # The library treats a missing resume file as an empty prior run (the
+        # idempotent-restart pattern), but an explicitly-typed CLI path that
+        # does not exist is far more likely a typo silently rerunning
+        # everything — fail loudly.  Exception: --resume-from pointing at the
+        # --jsonl stream itself IS the restart pattern, and must work on the
+        # first invocation too (before the stream exists).
+        restartable = (args.jsonl is not None and
+                       os.path.abspath(args.resume_from) == os.path.abspath(args.jsonl))
+        if not restartable:
+            parser.error(f"--resume-from: {args.resume_from} does not exist")
+    try:
+        result = sweep(grid, base_seed=args.seed, workers=args.workers,
+                       jsonl_path=args.jsonl, resume_from=args.resume_from)
+    except ValueError as exc:
+        # e.g. resuming from a file produced with a different base seed.
+        parser.error(str(exc))
 
     if args.topology != "single_bottleneck":
         print(f"topology: {args.topology} {json.dumps(resolved_kwargs, sort_keys=True)}")
@@ -866,6 +852,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"{len(result.cells)} cells, {result.total_events:,} events in "
           f"{result.total_wall_time_s:.2f} s of simulation work "
           f"({result.events_per_second():,.0f} events/s)")
+    if args.jsonl:
+        print(f"streamed per-cell records to {args.jsonl}")
     if args.output:
         result.write(args.output, include_timing=args.timing)
         print(f"wrote {args.output}")

@@ -46,5 +46,9 @@ class NameRegistry(Generic[T]):
         """All registered names, sorted."""
         return sorted(self._entries)
 
+    def items(self) -> List[tuple]:
+        """``(name, entry)`` pairs, sorted by name."""
+        return sorted(self._entries.items())
+
     def __contains__(self, name: str) -> bool:
         return name in self._entries

@@ -32,6 +32,28 @@ class TestRunner:
                      "westwood", "reno_paced", "sabul", "pcp", "parallel_tcp"]:
             assert name in schemes
 
+    def test_available_schemes_contains_registered_variants(self):
+        """Variant specs are first-class schemes: the listing (and therefore
+        the unknown-scheme error) must include them, not just base names."""
+        schemes = available_schemes()
+        for spec in ["pcc:gradient", "pcc:latency", "pcc:loss_resilient",
+                     "pcc:no_rct"]:
+            assert spec in schemes
+
+    def test_unknown_scheme_error_names_variants(self):
+        sim = Simulator()
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        with pytest.raises(ValueError, match="pcc:gradient"):
+            run_flows(sim, [topo.path], [FlowSpec(scheme="nonsense")],
+                      duration=1.0)
+
+    def test_run_flows_accepts_variant_specs(self):
+        sim = Simulator(seed=4)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        result = run_flows(sim, [topo.path],
+                           [FlowSpec(scheme="pcc:no_rct")], duration=2.0)
+        assert result.flow(0).schemes[0].policy.use_rct is False
+
     def test_requires_at_least_one_path(self):
         sim = Simulator()
         with pytest.raises(ValueError):

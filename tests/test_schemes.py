@@ -1,0 +1,234 @@
+"""Tests for the first-class scheme registry (``repro.schemes``).
+
+The acceptance property is end-to-end pluggability: a scheme registered once
+is usable, untouched elsewhere, from ``run_flows``, a ``SweepGrid`` scheme
+spec, and the sweep CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cc import NewRenoController
+from repro.experiments import run_flows
+from repro.experiments.sweep import SweepGrid, main, sweep
+from repro.netsim import FlowSpec, Simulator, single_bottleneck
+from repro.schemes import (
+    SchemeSpec,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    register_scheme_variant,
+    resolve_scheme_spec,
+    scheme_names,
+    scheme_variant_names,
+)
+
+
+# A third-party scheme registered once, at module import time (the same
+# contract every registry in the repo imposes, so spawn-method sweep workers
+# could re-import it).  A plain Reno subclass keeps the simulation cheap.
+class _HalfBetaReno(NewRenoController):
+    def __init__(self, beta: float = 0.7, **kwargs):
+        super().__init__(**kwargs)
+        self.beta = beta
+
+
+register_scheme("halfreno", _HalfBetaReno, "windowed",
+                kwarg_defaults={"beta": 0.7},
+                description="test-only Reno with a gentler backoff")
+register_scheme_variant("gentle", {"beta": 0.9}, base_scheme="halfreno",
+                        description="test-only variant")
+
+
+class TestRegistry:
+    def test_builtin_base_schemes_registered(self):
+        names = scheme_names()
+        for name in ["pcc", "cubic", "reno", "newreno", "illinois", "hybla",
+                     "vegas", "bic", "westwood", "reno_paced", "sabul", "pcp",
+                     "parallel_tcp"]:
+            assert name in names
+
+    def test_available_schemes_includes_variants(self):
+        """``available_schemes`` must list registered variant specs such as
+        ``pcc:gradient``, not just the base names."""
+        schemes = available_schemes()
+        for spec in ["pcc", "pcc:gradient", "pcc:latency", "pcc:loss_resilient",
+                     "pcc:simple", "pcc:no_rct", "halfreno:gentle"]:
+            assert spec in schemes
+
+    def test_sender_kind_metadata(self):
+        assert get_scheme("cubic").sender_kind == "windowed"
+        assert get_scheme("pcc").sender_kind == "rate"
+        assert get_scheme("sabul").sender_kind == "rate"
+        assert get_scheme("parallel_tcp").sender_kind == "bundle"
+
+    def test_unknown_scheme_error_lists_variants(self):
+        with pytest.raises(ValueError, match="pcc:gradient"):
+            get_scheme("no-such-scheme")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme("cubic", NewRenoController, "windowed")
+
+    def test_invalid_sender_kind_rejected(self):
+        with pytest.raises(ValueError, match="sender_kind"):
+            register_scheme("bogus_kind_scheme", NewRenoController, "warped")
+
+    def test_uppercase_and_colon_names_rejected(self):
+        with pytest.raises(ValueError, match="lowercase"):
+            register_scheme("Cubic2", NewRenoController, "windowed")
+        with pytest.raises(ValueError, match="':'"):
+            register_scheme("cubic:fast", NewRenoController, "windowed")
+
+
+class TestSchemeSpecParsing:
+    def test_plain_spec(self):
+        parsed = SchemeSpec.parse("cubic")
+        assert (parsed.base, parsed.variant, parsed.kwargs) == ("cubic", None, {})
+        assert parsed.info().sender_kind == "windowed"
+
+    def test_variant_spec(self):
+        parsed = SchemeSpec.parse("pcc:gradient")
+        assert parsed.base == "pcc"
+        assert parsed.variant == "gradient"
+        assert parsed.kwargs == {"policy": "gradient"}
+
+    def test_specs_are_case_insensitive(self):
+        assert SchemeSpec.parse("CUBIC").base == "cubic"
+        assert SchemeSpec.parse("PCC:Gradient").kwargs == {"policy": "gradient"}
+
+    def test_unknown_base_rejected_even_with_valid_variant(self):
+        with pytest.raises(ValueError, match="known schemes"):
+            SchemeSpec.parse("no-such-base:gradient")
+
+    def test_variant_on_wrong_base_rejected(self):
+        with pytest.raises(ValueError, match="base scheme"):
+            SchemeSpec.parse("cubic:gradient")
+
+    def test_resolve_scheme_spec_tuple_form(self):
+        assert resolve_scheme_spec("pcc") == ("pcc", {})
+        assert resolve_scheme_spec("pcc:no_rct") == ("pcc", {"use_rct": False})
+
+    def test_variant_names_listed(self):
+        names = scheme_variant_names()
+        for name in ("gradient", "latency", "loss_resilient", "no_rct",
+                     "simple", "gentle"):
+            assert name in names
+
+
+class TestThirdPartySchemeEndToEnd:
+    """One registration, three consumers — the tentpole acceptance property."""
+
+    def test_run_flows_builds_the_scheme(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        result = run_flows(sim, [topo.path], [FlowSpec(scheme="halfreno")],
+                           duration=3.0)
+        controller = result.flow(0).schemes[0]
+        assert isinstance(controller, _HalfBetaReno)
+        assert controller.beta == 0.7  # registry default applied
+        assert result.flow(0).goodput_bps(3.0) > 1e6
+
+    def test_run_flows_resolves_the_variant(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        result = run_flows(sim, [topo.path],
+                           [FlowSpec(scheme="halfreno:gentle")], duration=2.0)
+        assert result.flow(0).schemes[0].beta == 0.9
+
+    def test_flow_spec_kwargs_override_registry_defaults(self):
+        sim = Simulator(seed=1)
+        topo = single_bottleneck(sim, 10e6, 0.02, buffer_bytes=50_000)
+        spec = FlowSpec(scheme="halfreno", controller_kwargs={"beta": 0.5})
+        result = run_flows(sim, [topo.path], [spec], duration=1.0)
+        assert result.flow(0).schemes[0].beta == 0.5
+
+    def test_sweep_grid_accepts_the_scheme_and_variant(self):
+        grid = SweepGrid(schemes=("halfreno", "halfreno:gentle"),
+                         bandwidths_bps=(5e6,), duration=2.0)
+        result = sweep(grid, base_seed=3, workers=1)
+        assert len(result) == 2
+        assert result.goodput_mbps(scheme="halfreno") > 1.0
+        (cell,) = result.find(scheme="halfreno:gentle")
+        assert cell["cell"]["scheme_kwargs"] == {"beta": 0.9}
+
+    def test_cli_accepts_the_scheme(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--schemes", "halfreno:gentle",
+            "--bandwidth-mbps", "5",
+            "--duration", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        (cell,) = json.loads(out.read_text())["cells"]
+        assert cell["cell"]["scheme"] == "halfreno:gentle"
+        assert cell["cell"]["scheme_kwargs"] == {"beta": 0.9}
+
+    def test_unknown_scheme_fails_at_grid_construction(self):
+        """Pre-registry, a typo'd scheme survived grid construction and died
+        mid-sweep inside a worker; now the grid rejects it immediately."""
+        with pytest.raises(ValueError, match="known schemes"):
+            SweepGrid(schemes=("cubik",))
+
+
+class TestBundleSchemes:
+    def test_bundle_kwargs_split_from_subflow_kwargs(self):
+        """Registry-declared kwargs configure the bundle; everything else is
+        forwarded to the sub-flow controllers."""
+        sim = Simulator(seed=2)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        spec = FlowSpec(scheme="parallel_tcp",
+                        controller_kwargs={"bundle_size": 3,
+                                           "bundle_scheme": "reno"})
+        result = run_flows(sim, [topo.path], [spec], duration=2.0)
+        assert len(result.flow(0).senders) == 3
+        assert all(isinstance(c, NewRenoController)
+                   for c in result.flow(0).schemes)
+
+    def test_bundle_over_rate_scheme_rejected(self):
+        sim = Simulator(seed=2)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        spec = FlowSpec(scheme="parallel_tcp",
+                        controller_kwargs={"bundle_scheme": "pcc"})
+        with pytest.raises(ValueError, match="windowed"):
+            run_flows(sim, [topo.path], [spec], duration=1.0)
+
+
+class TestExperimentIndexIntegration:
+    def test_experiment_schemes_resolve_against_the_registry(self):
+        from repro.experiments import list_experiments
+
+        for experiment in list_experiments():
+            for parsed in experiment.scheme_specs():
+                assert parsed.base in scheme_names()
+
+    def test_sec44_ablation_resolves_variant_kwargs(self):
+        from repro.experiments import get_experiment
+
+        specs = {spec.spec: spec for spec
+                 in get_experiment("sec44_ablation").scheme_specs()}
+        assert specs["pcc:latency"].kwargs == {"utility": "latency"}
+
+
+class TestBundleSubSchemeDefaults:
+    def test_subflow_controllers_receive_the_subscheme_registry_defaults(self):
+        """The bundle path must merge the sub-scheme's kwarg_defaults exactly
+        like the direct path does."""
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        spec = FlowSpec(scheme="parallel_tcp",
+                        controller_kwargs={"bundle_scheme": "halfreno",
+                                           "bundle_size": 2})
+        result = run_flows(sim, [topo.path], [spec], duration=1.0)
+        assert [c.beta for c in result.flow(0).schemes] == [0.7, 0.7]
+
+    def test_subflow_variant_kwargs_still_apply(self):
+        sim = Simulator(seed=3)
+        topo = single_bottleneck(sim, 20e6, 0.02, buffer_bytes=75_000)
+        spec = FlowSpec(scheme="parallel_tcp",
+                        controller_kwargs={"bundle_scheme": "halfreno:gentle",
+                                           "bundle_size": 2})
+        result = run_flows(sim, [topo.path], [spec], duration=1.0)
+        assert [c.beta for c in result.flow(0).schemes] == [0.9, 0.9]
