@@ -1,58 +1,19 @@
 """Figure 4/5 — wild-Internet throughput improvement of PCC over baselines.
 
 Paper: over 510 PlanetLab/GENI pairs, PCC beats TCP CUBIC by 5.52x at the
-median (>= 10x on 41% of pairs), PCP by 4.58x and SABUL by 1.41x at the median.
-Here the pairs are replaced by a synthetic wide-area path sampler (see
-EXPERIMENTS.md); the benchmark prints the improvement-ratio distribution and checks
-that PCC wins clearly at the median against CUBIC and PCP, and at least
-modestly against SABUL.
+median (>= 10x on 41% of pairs), PCP by 4.58x and SABUL by 1.41x at the
+median.  Thin wrapper over the ``fig4_5`` report spec (synthetic wide-area
+path sampler, see EXPERIMENTS.md); regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.analysis import percentile
-from repro.experiments import improvement_ratios, ratio_cdf, sample_paths
-
-PATH_COUNT = 5
-DURATION = 12.0
+from repro.report import run_report_spec
 
 
-def _ratios(baseline: str):
-    # RTTs are capped at 150 ms so that the (scaled-down) 12 s runs give every
-    # protocol enough round trips to converge; longer-RTT paths would need the
-    # paper's 100 s runs to be meaningful.
-    paths = sample_paths(PATH_COUNT, seed=11, rtt_range=(0.010, 0.150))
-    return improvement_ratios(paths, baseline, duration=DURATION)
-
-
-def test_fig05_pcc_vs_cubic(benchmark):
-    ratios = run_once(benchmark, _ratios, "cubic")
-    print_table(
-        "Figure 5: PCC improvement over TCP CUBIC (synthetic wild-Internet paths)",
-        ["metric", "value"],
-        [
-            ["median ratio", percentile(ratios, 0.5)],
-            ["90th pct ratio", percentile(ratios, 0.9)],
-            ["fraction >= 2x", ratio_cdf(ratios)[2.0]],
-            ["fraction >= 10x", ratio_cdf(ratios)[10.0]],
-        ],
-    )
-    assert percentile(ratios, 0.5) > 1.2, "PCC should clearly beat CUBIC at the median"
-
-
-def test_fig05_pcc_vs_pcp(benchmark):
-    ratios = run_once(benchmark, _ratios, "pcp")
-    print_table("Figure 5: PCC improvement over PCP",
-                ["metric", "value"],
-                [["median ratio", percentile(ratios, 0.5)]])
-    assert percentile(ratios, 0.5) > 0.8
-
-
-def test_fig05_pcc_vs_sabul(benchmark):
-    ratios = run_once(benchmark, _ratios, "sabul")
-    print_table("Figure 5: PCC improvement over SABUL",
-                ["metric", "value"],
-                [["median ratio", percentile(ratios, 0.5)]])
-    assert percentile(ratios, 0.5) > 0.4, (
-        "PCC should be within striking distance of SABUL (paper: 1.41x median; "
-        "our idealized SABUL recovers from loss better than the real one)")
+def test_fig05_improvement_ratios(benchmark):
+    outcome = run_once(benchmark, run_report_spec, "fig4_5",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,60 +1,19 @@
 """Figure 6 — emulated satellite link (42 Mbps, 800 ms RTT, 0.74% loss).
 
-Paper: PCC reaches ~90% of capacity with only a 7.5 KB buffer, while TCP Hybla
-(designed for satellite links) manages ~2 Mbps even with a 1 MB buffer (17x
-worse) and Illinois is 54x worse.  The benchmark sweeps the bottleneck buffer
-and asserts PCC's large advantage over every TCP variant.
-
-The buffer x scheme grid is expressed as a :class:`repro.experiments.SweepGrid`
-and fanned out across CPU cores by :func:`repro.experiments.sweep.sweep`.
+Paper: PCC reaches ~90% of capacity with only a 7.5 KB buffer, while TCP
+Hybla (designed for satellite links) manages ~2 Mbps even with a 1 MB buffer
+(17x worse) and Illinois is 54x worse.  Thin wrapper over the ``fig6`` report
+spec (buffer x scheme sweep grid); regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import SWEEP_WORKERS, print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import SweepGrid
-from repro.experiments.sweep import sweep
-
-SCHEMES = ("pcc", "hybla", "illinois", "cubic")
-BUFFERS = (7_500.0, 1_000_000.0)
-DURATION = 60.0
-
-
-def _sweep():
-    grid = SweepGrid(
-        schemes=SCHEMES,
-        bandwidths_bps=(42e6,),
-        rtts=(0.8,),
-        loss_rates=(0.0074,),
-        buffers_bytes=BUFFERS,
-        duration=DURATION,
-    )
-    result = sweep(grid, base_seed=3, workers=SWEEP_WORKERS)
-    rows = []
-    for buffer_bytes in BUFFERS:
-        row = {"buffer_kb": buffer_bytes / 1e3}
-        for scheme in SCHEMES:
-            row[scheme] = result.goodput_mbps(scheme=scheme,
-                                              buffer_bytes=buffer_bytes)
-        rows.append(row)
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig06_satellite(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 6: satellite link goodput (Mbps) vs bottleneck buffer",
-        ["buffer_kb"] + list(SCHEMES),
-        [[r["buffer_kb"]] + [r[s] for s in SCHEMES] for r in rows],
-    )
-    largest_buffer = rows[-1]
-    # Our idealized (per-packet SACK recovery) Hybla does not collapse as hard
-    # as the real kernel implementation the paper measured, so the Hybla
-    # comparison is asserted strictly only at the shallow buffer.
-    assert largest_buffer["pcc"] > 2.0 * largest_buffer["illinois"]
-    assert largest_buffer["pcc"] > 2.0 * largest_buffer["cubic"]
-    assert largest_buffer["pcc"] > 0.5 * largest_buffer["hybla"]
-    small_buffer = rows[0]
-    assert small_buffer["pcc"] > 2.0 * small_buffer["hybla"], (
-        "PCC should win clearly with a ~5-packet buffer"
-    )
-    assert small_buffer["pcc"] > 2.0 * small_buffer["cubic"]
+    outcome = run_once(benchmark, run_report_spec, "fig6",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

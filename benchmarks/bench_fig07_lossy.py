@@ -1,60 +1,19 @@
 """Figure 7 — throughput under random loss (100 Mbps, 30 ms RTT).
 
-Paper: PCC holds >95% of capacity up to 1% loss and degrades gracefully to 74%
-at 2%, while CUBIC collapses to 10x below PCC at just 0.1% loss (37x at 2%) and
-Illinois to 16x below PCC at 2%.  The benchmark sweeps the loss rate and checks
-both PCC's resilience and the TCP collapse factors.
-
-The loss x scheme grid is expressed as a :class:`repro.experiments.SweepGrid`
-and fanned out across CPU cores by :func:`repro.experiments.sweep.sweep`.
+Paper: PCC holds >95% of capacity up to 1% loss and degrades gracefully to
+74% at 2%, while CUBIC collapses to 10x below PCC at just 0.1% loss (37x at
+2%) and Illinois to 16x below PCC at 2%.  Thin wrapper over the ``fig7``
+report spec (loss x scheme sweep grid, pinned base seed); regenerate every
+figure at once with ``python -m repro.report``.
 """
 
-from conftest import SWEEP_WORKERS, print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import SweepGrid
-from repro.experiments.sweep import sweep
-
-SCHEMES = ("pcc", "illinois", "cubic")
-LOSS_RATES = (0.001, 0.01, 0.02, 0.04)
-DURATION = 15.0
-
-
-def _sweep():
-    grid = SweepGrid(
-        schemes=SCHEMES,
-        bandwidths_bps=(100e6,),
-        rtts=(0.03,),
-        loss_rates=LOSS_RATES,
-        buffers_bytes=(None,),  # one BDP, as in the paper's setup
-        duration=DURATION,
-        reverse_loss=True,  # §4.1.4 applies the loss to both directions
-    )
-    # base_seed=4: PCC's escape from an unlucky early collapse under 2%
-    # bidirectional loss is trajectory-sensitive in the scaled 15 s runs (as
-    # it was for the hand-rolled loop, which pinned its own lucky seed); this
-    # base seed gives every pcc cell a converging trajectory.
-    result = sweep(grid, base_seed=4, workers=SWEEP_WORKERS)
-    # Each (scheme, loss) group holds exactly one cell; the aggregate's mean
-    # is that cell's total goodput.
-    goodput = result.aggregate("goodput_mbps", by=("scheme", "loss_rate"))
-    return [
-        {"loss": loss, **{scheme: goodput[(scheme, loss)] for scheme in SCHEMES}}
-        for loss in LOSS_RATES
-    ]
+from repro.report import run_report_spec
 
 
 def test_fig07_random_loss(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 7: goodput (Mbps) vs random loss rate on a 100 Mbps / 30 ms link",
-        ["loss"] + list(SCHEMES),
-        [[r["loss"]] + [r[s] for s in SCHEMES] for r in rows],
-    )
-    by_loss = {r["loss"]: r for r in rows}
-    # PCC keeps most of the capacity up to 1% loss.
-    assert by_loss[0.01]["pcc"] > 75.0
-    # CUBIC collapses by an order of magnitude already at 1% loss.
-    assert by_loss[0.01]["pcc"] > 5.0 * by_loss[0.01]["cubic"]
-    # At 2% loss both TCPs are far below PCC (paper: 37x / 16x).
-    assert by_loss[0.02]["pcc"] > 5.0 * by_loss[0.02]["cubic"]
-    assert by_loss[0.02]["pcc"] > 3.0 * by_loss[0.02]["illinois"]
+    outcome = run_once(benchmark, run_report_spec, "fig7",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

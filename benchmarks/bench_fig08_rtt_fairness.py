@@ -1,47 +1,20 @@
 """Figure 8 — RTT fairness between a short-RTT and a long-RTT flow.
 
-Paper: with a 10 ms flow competing against a 20-100 ms flow, New Reno starves
-the long-RTT flow (ratio near 0), CUBIC helps somewhat, and PCC keeps the
-long-RTT flow's share close to the short one's (ratio near 1) because its
-convergence depends on utility, not on the control-loop length.
+Paper: with a 10 ms flow competing against a 20-100 ms flow, New Reno
+starves the long-RTT flow (ratio near 0), CUBIC helps somewhat, and PCC
+keeps the long-RTT flow's share close to the short one's (ratio near 1)
+because its convergence depends on utility, not on the control-loop length.
+Thin wrapper over the ``fig8`` report spec; regenerate every figure at once
+with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import rtt_unfairness_scenario
-
-SCHEMES = ("pcc", "cubic", "reno")
-LONG_RTTS = (0.040, 0.080)
-DURATION = 40.0
-BANDWIDTH = 30e6
-
-
-def _sweep():
-    rows = []
-    for long_rtt in LONG_RTTS:
-        row = {"long_rtt_ms": long_rtt * 1000}
-        for scheme in SCHEMES:
-            result = rtt_unfairness_scenario(
-                scheme, long_rtt=long_rtt, bandwidth_bps=BANDWIDTH,
-                duration=DURATION, seed=4,
-            )
-            row[scheme] = result["ratio"]
-        rows.append(row)
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig08_rtt_fairness(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 8: long-RTT flow throughput relative to the 10 ms flow",
-        ["long_rtt_ms"] + list(SCHEMES),
-        [[r["long_rtt_ms"]] + [r[s] for s in SCHEMES] for r in rows],
-    )
-    for row in rows:
-        assert row["pcc"] > row["reno"], (
-            "PCC should give the long-RTT flow a larger share than New Reno"
-        )
-    worst_pcc = min(row["pcc"] for row in rows)
-    worst_reno = min(row["reno"] for row in rows)
-    assert worst_pcc > 0.3, "PCC should not starve the long-RTT flow"
-    assert worst_pcc > worst_reno
+    outcome = run_once(benchmark, run_report_spec, "fig8",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,55 +1,19 @@
 """Figure 9 — throughput vs bottleneck buffer size (100 Mbps, 30 ms, clean).
 
-Paper: PCC needs only a 6-packet buffer to reach 90% of capacity and gets ~25%
-of capacity with a single-packet buffer (35x TCP); CUBIC needs 13x more buffer
-to reach 90% and TCP with pacing still needs 25x more than PCC.  The benchmark
-sweeps the buffer from one packet to one BDP.
-
-The buffer x scheme grid is expressed as a :class:`repro.experiments.SweepGrid`
-and fanned out across CPU cores by :func:`repro.experiments.sweep.sweep`.
+Paper: PCC needs only a 6-packet buffer to reach 90% of capacity and gets
+~25% of capacity with a single-packet buffer (35x TCP); CUBIC needs 13x more
+buffer to reach 90% and TCP with pacing still needs 25x more than PCC.  Thin
+wrapper over the ``fig9`` report spec (buffer x scheme sweep grid);
+regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import SWEEP_WORKERS, print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import SweepGrid
-from repro.experiments.sweep import sweep
-
-SCHEMES = ("pcc", "reno_paced", "cubic")
-BUFFERS = (1_500.0, 9_000.0, 45_000.0, 375_000.0)
-DURATION = 15.0
-
-
-def _sweep():
-    grid = SweepGrid(
-        schemes=SCHEMES,
-        bandwidths_bps=(100e6,),
-        rtts=(0.03,),
-        buffers_bytes=BUFFERS,
-        duration=DURATION,
-    )
-    result = sweep(grid, base_seed=5, workers=SWEEP_WORKERS)
-    rows = []
-    for buffer_bytes in BUFFERS:
-        row = {"buffer_kb": buffer_bytes / 1e3}
-        for scheme in SCHEMES:
-            row[scheme] = result.goodput_mbps(scheme=scheme,
-                                              buffer_bytes=buffer_bytes)
-        rows.append(row)
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig09_shallow_buffer(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 9: goodput (Mbps) vs bottleneck buffer size",
-        ["buffer_kb"] + list(SCHEMES),
-        [[r["buffer_kb"]] + [r[s] for s in SCHEMES] for r in rows],
-    )
-    six_packet = rows[1]
-    assert six_packet["pcc"] > 80.0, "PCC should reach ~90% capacity with a 6-packet buffer"
-    assert six_packet["pcc"] > six_packet["cubic"], "PCC should beat CUBIC at 6 packets"
-    assert six_packet["pcc"] > six_packet["reno_paced"], (
-        "pacing alone should not explain PCC's advantage"
-    )
-    one_packet = rows[0]
-    assert one_packet["pcc"] > one_packet["cubic"]
+    outcome = run_once(benchmark, run_report_spec, "fig9",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

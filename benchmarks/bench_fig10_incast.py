@@ -1,47 +1,19 @@
 """Figure 10 — data-center incast goodput vs number of senders.
 
-Paper: with >= 10 senders TCP's goodput collapses while PCC sustains 60-80% of
-the maximum (7-8x TCP), and PCC's goodput stays stable as the sender count
-grows.  The benchmark runs barrier transfers of 64 KB and 256 KB blocks.
+Paper: with >= 10 senders TCP's goodput collapses while PCC sustains 60-80%
+of the maximum (7-8x TCP), and PCC's goodput stays stable as the sender
+count grows.  Thin wrapper over the ``fig10`` report spec (64 KB and 256 KB
+barrier transfers); regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import run_incast
-
-SENDER_COUNTS = (8, 16, 24)
-BLOCK_SIZES = (64_000.0, 256_000.0)
-BUFFER_BYTES = 64_000.0
-
-
-def _sweep():
-    rows = []
-    for block in BLOCK_SIZES:
-        for senders in SENDER_COUNTS:
-            row = {"block_kb": block / 1e3, "senders": senders}
-            for scheme in ("pcc", "cubic"):
-                outcome = run_incast(scheme, senders, block,
-                                     buffer_bytes=BUFFER_BYTES, seed=6)
-                row[scheme] = outcome["goodput_mbps"]
-                row[f"{scheme}_completed"] = outcome["completed"]
-            rows.append(row)
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig10_incast(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 10: incast goodput (Mbps) vs number of senders (1 Gbps fabric)",
-        ["block_kb", "senders", "pcc", "cubic"],
-        [[r["block_kb"], r["senders"], r["pcc"], r["cubic"]] for r in rows],
-    )
-    for row in rows:
-        assert row["pcc_completed"] == row["senders"], "every PCC flow must finish"
-    # Incast collapse begins at >= 10 senders in the paper; in that regime PCC
-    # must clearly beat TCP (paper: 7-8x) and sustain a healthy goodput for the
-    # larger blocks.
-    for row in rows:
-        if row["senders"] >= 16:
-            assert row["pcc"] > 2.0 * row["cubic"]
-        if row["block_kb"] >= 256 and row["senders"] >= 16:
-            assert row["pcc"] > 300.0
+    outcome = run_once(benchmark, run_report_spec, "fig10",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,35 +1,18 @@
 """Figure 11 — rapidly changing network (bandwidth/RTT/loss re-drawn every 5 s).
 
-Paper: over a 500 s run PCC tracks the available bandwidth closely, achieving
-83% of optimal, while CUBIC is 14x and Illinois 5.6x worse than PCC.  The
-benchmark runs a scaled 60 s version and compares each protocol's goodput to
-the time-weighted optimal rate.
+Paper: over a 500 s run PCC tracks the available bandwidth closely,
+achieving 83% of optimal, while CUBIC is 14x and Illinois 5.6x worse than
+PCC.  Thin wrapper over the ``fig11`` report spec (scaled 50 s runs);
+regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import dynamic_network_scenario
-
-SCHEMES = ("pcc", "cubic", "illinois")
-DURATION = 50.0
-
-
-def _sweep():
-    results = {}
-    for scheme in SCHEMES:
-        results[scheme] = dynamic_network_scenario(scheme, duration=DURATION, seed=7)
-    return results
+from repro.report import run_report_spec
 
 
 def test_fig11_rapidly_changing_network(benchmark):
-    results = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 11: rapidly changing network (goodput vs time-varying optimum)",
-        ["scheme", "goodput_mbps", "optimal_mbps", "fraction_of_optimal"],
-        [[s, results[s]["goodput_mbps"], results[s]["optimal_mbps"],
-          results[s]["fraction_of_optimal"]] for s in SCHEMES],
-    )
-    pcc = results["pcc"]
-    assert pcc["fraction_of_optimal"] > 0.5, "PCC should track the changing bandwidth"
-    assert pcc["goodput_mbps"] > 1.5 * results["cubic"]["goodput_mbps"]
-    assert pcc["goodput_mbps"] > 1.2 * results["illinois"]["goodput_mbps"]
+    outcome = run_once(benchmark, run_report_spec, "fig11",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,66 +1,19 @@
 """Figure 12 — convergence behaviour of four staggered flows.
 
-Paper: four PCC flows joining a shared bottleneck every 500 s converge to even
-shares with visibly lower rate variance than CUBIC, which oscillates wildly.
-The benchmark runs a scaled version (20 Mbps bottleneck, 25 s staggering) and
-compares the per-flow rate standard deviation and the final-share balance.
+Paper: four PCC flows joining a shared bottleneck every 500 s converge to
+even shares with visibly lower rate variance than CUBIC, which oscillates
+wildly.  Thin wrapper over the ``fig12`` report spec (scaled to a 20 Mbps
+bottleneck with 20 s staggering); regenerate every figure at once with
+``python -m repro.report``.
 """
 
-import statistics
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from conftest import print_table, run_once
-
-from repro.experiments import convergence_scenario
-
-NUM_FLOWS = 4
-STAGGER = 20.0
-FLOW_DURATION = 60.0
-BANDWIDTH = 20e6
-
-
-def _run(scheme):
-    return convergence_scenario(
-        scheme, num_flows=NUM_FLOWS, stagger=STAGGER, flow_duration=FLOW_DURATION,
-        bandwidth_bps=BANDWIDTH, seed=8,
-    )
-
-
-def _steady_state_stats(result):
-    """Per-flow mean and stddev of 1 s throughput while all flows are active."""
-    start = STAGGER * (NUM_FLOWS - 1) + 5.0
-    end = result.duration - 1.0
-    means, deviations = [], []
-    for flow in result.flows:
-        series = flow.throughput_series_mbps(start, end)
-        means.append(statistics.mean(series))
-        deviations.append(statistics.pstdev(series))
-    return means, deviations
+from repro.report import run_report_spec
 
 
 def test_fig12_convergence(benchmark):
-    def both():
-        return {"pcc": _run("pcc"), "cubic": _run("cubic")}
-
-    results = run_once(benchmark, both)
-    rows = []
-    summary = {}
-    for scheme, result in results.items():
-        means, deviations = _steady_state_stats(result)
-        summary[scheme] = (means, deviations)
-        rows.append([scheme, min(means), max(means),
-                     statistics.mean(deviations)])
-    print_table(
-        "Figure 12: steady-state per-flow throughput (Mbps) with 4 competing flows",
-        ["scheme", "min_flow_mean", "max_flow_mean", "avg_rate_stddev"],
-        rows,
-    )
-    pcc_means, pcc_dev = summary["pcc"]
-    cubic_means, cubic_dev = summary["cubic"]
-    fair_share = BANDWIDTH / 1e6 / NUM_FLOWS
-    # Every PCC flow makes progress and the link stays well utilised.  (Full
-    # convergence to equal shares is slower here than in the paper — see the
-    # EXPERIMENTS.md deviations note on low-rate decision noise.)
-    assert min(pcc_means) > 0.1 * fair_share
-    assert sum(pcc_means) > 0.6 * BANDWIDTH / 1e6
-    # PCC's rate variance should not exceed CUBIC's (paper: much lower).
-    assert statistics.mean(pcc_dev) <= 1.5 * statistics.mean(cubic_dev)
+    outcome = run_once(benchmark, run_report_spec, "fig12",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

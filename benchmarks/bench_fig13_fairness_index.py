@@ -1,40 +1,18 @@
 """Figure 13 — Jain's fairness index versus averaging time scale.
 
-Paper: competing PCC flows achieve a higher Jain index than CUBIC and New Reno
-at every time scale from seconds to minutes.  The benchmark reuses the
-Figure 12 convergence scenario with 3 flows and reports the index at several
-window sizes.
+Paper: competing PCC flows achieve a higher Jain index than CUBIC and New
+Reno at every time scale from seconds to minutes.  Thin wrapper over the
+``fig13`` report spec (3 staggered flows, indices at 1-30 s windows);
+regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import convergence_scenario, fairness_index_over_timescales
-
-TIMESCALES = (1.0, 5.0, 15.0, 30.0)
-SCHEMES = ("pcc", "cubic", "reno")
-
-
-def _sweep():
-    out = {}
-    for scheme in SCHEMES:
-        result = convergence_scenario(scheme, num_flows=3, stagger=10.0,
-                                      flow_duration=60.0, bandwidth_bps=20e6,
-                                      seed=9)
-        out[scheme] = fairness_index_over_timescales(result, TIMESCALES)
-    return out
+from repro.report import run_report_spec
 
 
 def test_fig13_jain_index_over_timescales(benchmark):
-    results = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 13: Jain's fairness index vs time scale (3 competing flows)",
-        ["scheme"] + [f"{t:.0f}s" for t in TIMESCALES],
-        [[scheme] + [results[scheme][t] for t in TIMESCALES] for scheme in SCHEMES],
-    )
-    for timescale in TIMESCALES[1:]:
-        # Far better than a single-flow monopoly (index would be 1/3); full
-        # parity with the paper's near-1.0 indices is not reached — see the
-        # EXPERIMENTS.md deviations note.
-        assert results["pcc"][timescale] > 0.40
-    for scheme in SCHEMES:
-        assert all(0.0 < v <= 1.0 for v in results[scheme].values())
+    outcome = run_once(benchmark, run_report_spec, "fig13",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,50 +1,20 @@
 """Figure 14 — TCP friendliness compared with the parallel-TCP selfish practice.
 
-Paper: one normal TCP flow competes against N "selfish" flows, each being
-either one PCC flow or a bundle of 10 parallel TCP connections (TCP-Selfish).
-The relative unfriendliness ratio (normal TCP's throughput when competing with
-TCP-Selfish divided by its throughput when competing with PCC) stays around or
-above 1 as N grows, i.e. PCC is no worse for TCP than behaviour already common
-on the Internet.
+Paper: one normal TCP flow competes against N "selfish" flows, each either
+one PCC flow or a bundle of 10 parallel TCP connections (TCP-Selfish).  The
+relative unfriendliness ratio stays around or above 1 as N grows, i.e. PCC
+is no worse for TCP than behaviour already common on the Internet.  Thin
+wrapper over the ``fig14`` report spec; regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import friendliness_scenario
-
-SELFISH_COUNTS = (1, 2)
-DURATION = 30.0
-
-
-def _sweep():
-    rows = []
-    for count in SELFISH_COUNTS:
-        vs_pcc = friendliness_scenario("pcc", count, duration=DURATION, seed=10)
-        vs_bundle = friendliness_scenario("parallel_tcp", count, duration=DURATION,
-                                          seed=10)
-        ratio = (vs_bundle["normal_tcp_mbps"] / vs_pcc["normal_tcp_mbps"]
-                 if vs_pcc["normal_tcp_mbps"] > 0 else float("inf"))
-        rows.append({
-            "num_selfish": count,
-            "tcp_vs_pcc_mbps": vs_pcc["normal_tcp_mbps"],
-            "tcp_vs_bundle_mbps": vs_bundle["normal_tcp_mbps"],
-            "relative_unfriendliness": ratio,
-        })
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig14_tcp_friendliness(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 14: normal TCP goodput against selfish competitors (30 Mbps link)",
-        ["num_selfish", "tcp_vs_pcc_mbps", "tcp_vs_bundle_mbps",
-         "relative_unfriendliness"],
-        [[r["num_selfish"], r["tcp_vs_pcc_mbps"], r["tcp_vs_bundle_mbps"],
-          r["relative_unfriendliness"]] for r in rows],
-    )
-    for row in rows:
-        # PCC must not be dramatically more hostile to TCP than a 10-connection
-        # bundle: the normal TCP flow should keep at least half as much
-        # throughput against PCC as against TCP-Selfish.
-        assert row["relative_unfriendliness"] < 4.0
-        assert row["tcp_vs_pcc_mbps"] > 0.1
+    outcome = run_once(benchmark, run_report_spec, "fig14",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,42 +1,19 @@
 """Figure 15 — flow completion time of 100 KB short flows vs offered load.
 
-Paper: on a 15 Mbps / 60 ms link with Poisson arrivals, PCC's median and 95th
-percentile FCT stay close to TCP's across loads from 5% to 75% (within ~20% at
-the tail), i.e. the learning startup does not fundamentally hurt short flows.
+Paper: on a 15 Mbps / 60 ms link with Poisson arrivals, PCC's median and
+95th percentile FCT stay close to TCP's across loads from 5% to 75% (within
+~20% at the tail), i.e. the learning startup does not fundamentally hurt
+short flows.  Thin wrapper over the ``fig15`` report spec; regenerate every
+figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import short_flow_scenario
-
-LOADS = (0.25, 0.5)
-DURATION = 40.0
-
-
-def _sweep():
-    rows = []
-    for load in LOADS:
-        row = {"load": load}
-        for scheme in ("pcc", "cubic"):
-            summary = short_flow_scenario(scheme, load=load, duration=DURATION,
-                                          seed=11)
-            row[f"{scheme}_median"] = summary["median"] or float("nan")
-            row[f"{scheme}_p95"] = summary["p95"] or float("nan")
-            row[f"{scheme}_count"] = summary["count"]
-        rows.append(row)
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig15_short_flow_completion_time(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Figure 15: 100 KB flow completion times (seconds) vs load, 15 Mbps / 60 ms",
-        ["load", "pcc_median", "pcc_p95", "cubic_median", "cubic_p95"],
-        [[r["load"], r["pcc_median"], r["pcc_p95"], r["cubic_median"],
-          r["cubic_p95"]] for r in rows],
-    )
-    for row in rows:
-        assert row["pcc_count"] > 0 and row["cubic_count"] > 0
-        # PCC's learning startup costs some FCT; it must stay within a small
-        # factor of TCP's (paper: comparable; here ~3-4x, see EXPERIMENTS.md).
-        assert row["pcc_median"] < 4.5 * row["cubic_median"]
+    outcome = run_once(benchmark, run_report_spec, "fig15",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

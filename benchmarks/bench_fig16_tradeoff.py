@@ -1,59 +1,21 @@
 """Figure 16 — stability/reactiveness trade-off and the RCT ablation.
 
-Paper: plotting rate standard deviation against convergence time, TCP variants
-are either slow to converge or highly unstable, while PCC (swept over the
-monitor-interval length Tm and the step size eps_min) traces a strictly better
-frontier; the RCT mechanism buys a further ~35% variance reduction for ~3%
-extra convergence time in the sweet spot.
+Paper: plotting rate standard deviation against convergence time, TCP
+variants are either slow to converge or highly unstable, while PCC (swept
+over the monitor-interval length Tm and the step size eps_min) traces a
+strictly better frontier; the RCT mechanism buys a further ~35% variance
+reduction for ~3% extra convergence time in the sweet spot.  Thin wrapper
+over the ``fig16`` report spec; regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import tradeoff_scenario
-
-BANDWIDTH = 30e6
-MEASURE = 40.0
-
-PCC_CONFIGS = [
-    ("pcc eps=0.01", {"epsilon_min": 0.01}),
-    ("pcc eps=0.02", {"epsilon_min": 0.02}),
-    ("pcc eps=0.05 (fast)", {"epsilon_min": 0.05, "epsilon_max": 0.08}),
-    ("pcc no-RCT", {"epsilon_min": 0.01, "use_rct": False}),
-]
-TCP_SCHEMES = ("cubic", "reno", "vegas", "westwood")
-
-
-def _sweep():
-    rows = []
-    for label, kwargs in PCC_CONFIGS:
-        outcome = tradeoff_scenario("pcc", bandwidth_bps=BANDWIDTH,
-                                    measure_duration=MEASURE, seed=12, **kwargs)
-        rows.append([label, outcome["convergence_time"],
-                     outcome["rate_std_dev_mbps"]])
-    for scheme in TCP_SCHEMES:
-        outcome = tradeoff_scenario(scheme, bandwidth_bps=BANDWIDTH,
-                                    measure_duration=MEASURE, seed=12)
-        rows.append([scheme, outcome["convergence_time"],
-                     outcome["rate_std_dev_mbps"]])
-    return rows
+from repro.report import run_report_spec
 
 
 def test_fig16_stability_reactiveness_tradeoff(benchmark):
-    rows = run_once(benchmark, _sweep)
-    printable = [[label,
-                  "never" if conv is None else conv,
-                  std] for label, conv, std in rows]
-    print_table(
-        "Figure 16: convergence time (s) vs rate std-dev (Mbps), second flow of two",
-        ["configuration", "convergence_time_s", "rate_stddev_mbps"],
-        printable,
-    )
-    pcc_rows = [r for r in rows if str(r[0]).startswith("pcc")]
-    tcp_rows = [r for r in rows if not str(r[0]).startswith("pcc")]
-    converged_pcc = [r for r in pcc_rows if r[1] is not None]
-    assert converged_pcc, "at least one PCC configuration must converge"
-    best_pcc_std = min(r[2] for r in converged_pcc)
-    converged_tcp_stds = [r[2] for r in tcp_rows if r[1] is not None]
-    if converged_tcp_stds:
-        # Some PCC point should be at least as stable as every converged TCP.
-        assert best_pcc_std <= max(converged_tcp_stds) + 0.5
+    outcome = run_once(benchmark, run_report_spec, "fig16",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

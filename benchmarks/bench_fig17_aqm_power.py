@@ -1,48 +1,20 @@
 """Figure 17 — power (throughput/delay) under {CoDel, bufferbloat} x FQ.
 
-Paper: with TCP, CoDel+FQ gives 10.5x more power than bufferbloat+FQ (TCP fills
-any buffer it is given); with PCC running the latency utility, the two AQMs
-give essentially the same power, and PCC+bufferbloat+FQ beats TCP+CoDel+FQ by
-~55% — i.e. the utility function, not an in-network AQM, expresses the
-application's objective.
+Paper: with TCP, CoDel+FQ gives 10.5x more power than bufferbloat+FQ (TCP
+fills any buffer it is given); with PCC running the latency utility, the two
+AQMs give essentially the same power, and PCC+bufferbloat+FQ beats
+TCP+CoDel+FQ by ~55% — i.e. the utility function, not an in-network AQM,
+expresses the application's objective.  Thin wrapper over the ``fig17``
+report spec; regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import aqm_power_scenario
-
-DURATION = 25.0
-
-
-def _sweep():
-    out = {}
-    for scheme in ("cubic", "pcc"):
-        for aqm in ("codel", "bufferbloat"):
-            out[(scheme, aqm)] = aqm_power_scenario(scheme, aqm,
-                                                    duration=DURATION, seed=13)
-    return out
+from repro.report import run_report_spec
 
 
 def test_fig17_aqm_power(benchmark):
-    results = run_once(benchmark, _sweep)
-    rows = []
-    for (scheme, aqm), res in results.items():
-        rows.append([f"{scheme}+{aqm}+FQ", res["mean_power"] / 1e9,
-                     res["mean_rtt_ms"]])
-    print_table(
-        "Figure 17: power (Gbit/s per second of delay) and mean RTT",
-        ["configuration", "power_gbps_per_s", "mean_rtt_ms"],
-        rows,
-    )
-    tcp_codel = results[("cubic", "codel")]["mean_power"]
-    tcp_bloat = results[("cubic", "bufferbloat")]["mean_power"]
-    pcc_codel = results[("pcc", "codel")]["mean_power"]
-    pcc_bloat = results[("pcc", "bufferbloat")]["mean_power"]
-    # TCP needs CoDel: bufferbloat destroys its power (paper: 10.5x).
-    assert tcp_codel > 2.0 * tcp_bloat
-    # PCC's power gap between the two AQMs is far smaller than TCP's.
-    tcp_gap = tcp_codel / max(tcp_bloat, 1e-9)
-    pcc_gap = max(pcc_codel, pcc_bloat) / max(min(pcc_codel, pcc_bloat), 1e-9)
-    assert pcc_gap < tcp_gap
-    # PCC without any AQM should be at least comparable to TCP with CoDel.
-    assert pcc_bloat > 0.4 * tcp_codel
+    outcome = run_once(benchmark, run_report_spec, "fig17",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,104 +1,27 @@
 """Parking-lot multi-bottleneck sweep plus trace-driven capacity sweep.
 
-The paper's evaluation (§4.3) stresses PCC beyond a single dumbbell: multi-hop
-inter-DC paths where a long flow competes with RTT-diverse per-hop cross
-traffic, and links whose capacity varies over time.  Both conditions are
-expressed here as :class:`repro.experiments.SweepGrid`s over the registered
-``parking_lot`` and ``trace_bottleneck`` topologies and fanned out across CPU
-cores by :func:`repro.experiments.sweep.sweep`.
-
-Checked shape: the chain stays busy (aggregate goodput uses most of the
-per-hop capacity), the long flow is squeezed by the cross traffic but never
-starved, and on time-varying links each scheme tracks a usable fraction of the
-time-weighted optimal rate.
+The paper's evaluation (§4.3) stresses PCC beyond a single dumbbell:
+multi-hop inter-DC paths where a long flow competes with RTT-diverse per-hop
+cross traffic, and links whose capacity varies over time.  Thin wrappers
+over the ``parking_lot`` and ``variable_bw`` report specs (sweep grids over
+the registered ``parking_lot`` and ``trace_bottleneck`` topologies);
+regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import SWEEP_WORKERS, print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import SweepGrid
-from repro.experiments.sweep import sweep
-from repro.netsim import SYNTHETIC_TRACES
-
-SCHEMES = ("pcc", "cubic")
-NUM_HOPS = 3
-BANDWIDTH_BPS = 25e6
-DURATION = 12.0
-
-
-def _sweep_parking_lot():
-    grid = SweepGrid(
-        schemes=SCHEMES,
-        bandwidths_bps=(BANDWIDTH_BPS,),
-        rtts=(0.03,),  # the long flow's base RTT, split evenly over the hops
-        flow_counts=(1 + NUM_HOPS,),  # one long flow + one cross flow per hop
-        duration=DURATION,
-        topology="parking_lot",
-        topology_kwargs={"num_hops": NUM_HOPS},
-    )
-    result = sweep(grid, base_seed=1, workers=SWEEP_WORKERS)
-    rows = []
-    for scheme in SCHEMES:
-        (cell,) = result.filter(scheme=scheme)
-        long_mbps = cell["flows"][0]["goodput_mbps"]
-        cross = [flow["goodput_mbps"] for flow in cell["flows"][1:]]
-        rows.append({
-            "scheme": scheme,
-            "long_mbps": long_mbps,
-            "mean_cross_mbps": sum(cross) / len(cross),
-            "busiest_hop_mbps": long_mbps + max(cross),
-        })
-    return rows
-
-
-def _sweep_traces():
-    rows = []
-    for trace in SYNTHETIC_TRACES:
-        grid = SweepGrid(
-            schemes=SCHEMES,
-            bandwidths_bps=(BANDWIDTH_BPS,),
-            rtts=(0.03,),
-            duration=DURATION,
-            topology="trace_bottleneck",
-            topology_kwargs={"trace": trace},
-        )
-        result = sweep(grid, base_seed=1, workers=SWEEP_WORKERS)
-        for scheme in SCHEMES:
-            rows.append({
-                "trace": trace,
-                "scheme": scheme,
-                "goodput_mbps": result.goodput_mbps(scheme=scheme),
-            })
-    return rows
+from repro.report import run_report_spec
 
 
 def test_parking_lot_long_vs_cross(benchmark):
-    rows = run_once(benchmark, _sweep_parking_lot)
-    print_table(
-        f"Parking lot: {NUM_HOPS} hops x {BANDWIDTH_BPS / 1e6:.0f} Mbps, "
-        "long flow vs per-hop cross traffic",
-        ["scheme", "long_mbps", "mean_cross_mbps", "busiest_hop_mbps"],
-        [[r["scheme"], r["long_mbps"], r["mean_cross_mbps"],
-          r["busiest_hop_mbps"]] for r in rows],
-    )
-    for row in rows:
-        # The chain is well utilized: long + cross traffic on the busiest hop
-        # uses most of that hop's capacity.
-        assert row["busiest_hop_mbps"] > 0.5 * BANDWIDTH_BPS / 1e6, row
-        # The long flow crosses every bottleneck and is squeezed below the
-        # single-hop cross flows, but it must not be starved outright.
-        assert row["long_mbps"] > 0.2, row
-        assert row["mean_cross_mbps"] > row["long_mbps"], row
+    outcome = run_once(benchmark, run_report_spec, "parking_lot",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)
 
 
 def test_trace_driven_bottleneck(benchmark):
-    rows = run_once(benchmark, _sweep_traces)
-    print_table(
-        f"Trace-driven bottleneck ({BANDWIDTH_BPS / 1e6:.0f} Mbps peak): "
-        "goodput per synthetic trace",
-        ["trace", "scheme", "goodput_mbps"],
-        [[r["trace"], r["scheme"], r["goodput_mbps"]] for r in rows],
-    )
-    for row in rows:
-        # Every trace keeps at least a quarter of the peak available on
-        # average; a working controller must extract a usable fraction.
-        assert row["goodput_mbps"] > 0.1 * BANDWIDTH_BPS / 1e6, row
+    outcome = run_once(benchmark, run_report_spec, "variable_bw",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

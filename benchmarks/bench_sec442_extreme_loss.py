@@ -1,48 +1,19 @@
 """Section 4.4.2 — extreme random loss with the loss-resilient utility.
 
-Paper: with per-flow fair queueing, a PCC flow using the utility
-T * (1 - L) keeps ~97% of the achievable goodput even at 50% random loss,
-while CUBIC collapses (151x worse already at 10% loss).
+Paper: with per-flow fair queueing, a PCC flow using the utility T * (1 - L)
+keeps ~97% of the achievable goodput even at 50% random loss, while CUBIC
+collapses (151x worse already at 10% loss).  Thin wrapper over the
+``sec442`` report spec; regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import extreme_loss_scenario
-
-LOSS_RATES = (0.1, 0.3)
-DURATION = 20.0
-BANDWIDTH = 50e6
-
-
-def _sweep():
-    rows = []
-    for loss in LOSS_RATES:
-        pcc = extreme_loss_scenario(loss, scheme="pcc", duration=DURATION,
-                                    bandwidth_bps=BANDWIDTH, seed=14)
-        cubic = extreme_loss_scenario(loss, scheme="cubic", duration=DURATION,
-                                      bandwidth_bps=BANDWIDTH, seed=14)
-        achievable = BANDWIDTH / 1e6 * (1.0 - loss)
-        rows.append({
-            "loss": loss,
-            "achievable_mbps": achievable,
-            "pcc_mbps": pcc.goodput_mbps,
-            "cubic_mbps": cubic.goodput_mbps,
-        })
-    return rows
+from repro.report import run_report_spec
 
 
 def test_sec442_extreme_loss(benchmark):
-    rows = run_once(benchmark, _sweep)
-    print_table(
-        "Section 4.4.2: goodput under extreme random loss (loss-resilient utility)",
-        ["loss", "achievable_mbps", "pcc_mbps", "cubic_mbps"],
-        [[r["loss"], r["achievable_mbps"], r["pcc_mbps"], r["cubic_mbps"]]
-         for r in rows],
-    )
-    for row in rows:
-        assert row["pcc_mbps"] > 0.4 * row["achievable_mbps"], (
-            "loss-resilient PCC should keep a large fraction of achievable goodput"
-        )
-        assert row["pcc_mbps"] > 5.0 * row["cubic_mbps"], (
-            "CUBIC collapses under double-digit random loss"
-        )
+    outcome = run_once(benchmark, run_report_spec, "sec442",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,37 +1,19 @@
 """Table 1 — inter-data-center transfers over reserved-bandwidth paths.
 
 Paper: on 800 Mbps GENI/Internet2 reservations PCC averages ~780 Mbps while
-CUBIC gets 80-550 Mbps and Illinois 90-560 Mbps (PCC beats Illinois by 5.2x on
-average); SABUL sits in between.  The reserved path is modelled as a rate
-limiter with a small buffer (scaled to 100 Mbps here); the benchmark prints the
-per-pair table and asserts that PCC wins on average and roughly matches the
-paper's ordering PCC > SABUL > {CUBIC, Illinois}.
+CUBIC gets 80-550 Mbps and Illinois 90-560 Mbps (PCC beats Illinois by 5.2x
+on average); SABUL sits in between.  Thin wrapper over the ``table1`` report
+spec (reserved paths modelled as a small-buffer rate limiter, scaled to
+100 Mbps); regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import PAPER_PAIRS, run_table
-
-SCHEMES = ("pcc", "sabul", "cubic", "illinois")
-BANDWIDTH = 100e6
-DURATION = 8.0
-PAIRS = PAPER_PAIRS[:4]
-
-
-def _table():
-    return run_table(schemes=SCHEMES, pairs=PAIRS,
-                     reserved_bandwidth_bps=BANDWIDTH, duration=DURATION)
+from repro.report import run_report_spec
 
 
 def test_table1_interdc(benchmark):
-    rows = run_once(benchmark, _table)
-    print_table(
-        "Table 1 (scaled to 100 Mbps reservations): goodput in Mbps",
-        ["pair", "rtt_ms"] + list(SCHEMES),
-        [[r["pair"], r["rtt_ms"]] + [r[s] for s in SCHEMES] for r in rows],
-    )
-    mean = {s: sum(r[s] for r in rows) / len(rows) for s in SCHEMES}
-    print("means:", {k: round(v, 1) for k, v in mean.items()})
-    assert mean["pcc"] > mean["cubic"], "PCC should beat CUBIC on reserved paths"
-    assert mean["pcc"] > mean["illinois"], "PCC should beat Illinois (paper: 5.2x)"
-    assert mean["pcc"] > 0.6 * (BANDWIDTH / 1e6), "PCC should use most of the reservation"
+    outcome = run_once(benchmark, run_report_spec, "table1",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,40 +1,20 @@
 """Theorems 1 and 2 — equilibrium fairness and convergence of the dynamics.
 
 Regenerates the analytical backbone of §2.2 numerically: the symmetric
-equilibrium of the safe-utility game lies in the proved region (C, 20C/19) and
-is fair, and the synchronized ±eps update dynamics converge into the Theorem 2
-band from a grossly unfair starting point.
+equilibrium of the safe-utility game lies in the proved region (C, 20C/19)
+and is fair, and the synchronized ±eps update dynamics converge into the
+Theorem 2 band from a grossly unfair starting point.  Thin wrapper over the
+``theorems`` report spec; regenerate every figure at once with
+``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.analysis import FluidModel, find_equilibrium, simulate_dynamics
-
-
-def _run():
-    equilibria = {n: find_equilibrium(capacity=100.0, n=n) for n in (3, 4, 6)}
-    model = FluidModel(100.0, alpha=100.0)
-    dynamics = simulate_dynamics(model, [90.0, 10.0], epsilon=0.05, steps=800)
-    return equilibria, dynamics
+from repro.report import run_report_spec
 
 
 def test_theorems(benchmark):
-    equilibria, dynamics = run_once(benchmark, _run)
-    print_table(
-        "Theorem 1: best-response equilibrium on a C = 100 bottleneck",
-        ["n", "per_sender_rate", "total_rate", "relative_spread"],
-        [[n, float(res.rates.mean()), res.total_rate, res.max_relative_spread]
-         for n, res in equilibria.items()],
-    )
-    print_table(
-        "Theorem 2: synchronized dynamics from (90, 10), eps = 0.05",
-        ["metric", "value"],
-        [["equilibrium rate", dynamics.equilibrium_rate],
-         ["converged step", dynamics.converged_step or -1],
-         ["final rates", str([round(float(x), 2) for x in dynamics.final_rates])]],
-    )
-    for n, res in equilibria.items():
-        assert res.converged
-        assert res.max_relative_spread < 1e-3
-        assert 100.0 < res.total_rate < 100.0 * 20.0 / 19.0 + 1e-6
-    assert dynamics.converged
+    outcome = run_once(benchmark, run_report_spec, "theorems",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,52 +1,22 @@
 """Section 4.4 — utility-function ablation across environments.
 
-Paper: the PCC architecture separates the learning control from the objective,
-so swapping the utility function retargets the same machinery: the
-loss-resilient utility T * (1 - L) keeps near-achievable goodput under 30%
-random loss where the safe utility's 5% loss cap makes it collapse (§4.4.2),
-and the latency (power-maximising) utility keeps self-inflicted queueing near
-zero on a bufferbloated link where the safe utility fills the buffer (§4.4.1).
+Paper: the PCC architecture separates the learning control from the
+objective, so swapping the utility function retargets the same machinery:
+the loss-resilient utility T * (1 - L) keeps near-achievable goodput under
+30% random loss where the safe utility's 5% loss cap makes it collapse
+(§4.4.2), and the latency (power-maximising) utility keeps self-inflicted
+queueing near zero on a bufferbloated link where the safe utility fills the
+buffer (§4.4.1).  Thin wrapper over the ``sec44_ablation`` report spec;
+regenerate every figure at once with ``python -m repro.report``.
 """
 
-from conftest import print_table, run_once
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
 
-from repro.experiments import utility_ablation_scenario
-
-DURATION = 20.0
-BANDWIDTH = 20e6
-LOSS_RATE = 0.3
-DEEP_BUFFER = 2_000_000.0
-
-
-def _sweep():
-    lossy = utility_ablation_scenario(
-        "lossy", bandwidth_bps=BANDWIDTH, loss_rate=LOSS_RATE,
-        duration=DURATION, seed=5)
-    deep = utility_ablation_scenario(
-        "deep_buffer", bandwidth_bps=BANDWIDTH, buffer_bytes=DEEP_BUFFER,
-        duration=DURATION, seed=5)
-    return lossy, deep
+from repro.report import run_report_spec
 
 
 def test_sec44_utility_ablation(benchmark):
-    lossy, deep = run_once(benchmark, _sweep)
-    achievable = BANDWIDTH / 1e6 * (1.0 - LOSS_RATE)
-    print_table(
-        f"Section 4.4.2: goodput at {LOSS_RATE:.0%} random loss "
-        f"(achievable {achievable:.1f} Mbps)",
-        ["utility", "goodput_mbps", "loss_rate"],
-        [[name, out.goodput_mbps, out.loss_rate] for name, out in lossy.items()],
-    )
-    print_table(
-        "Section 4.4.1: mean RTT on a bufferbloated link (base RTT 30 ms)",
-        ["utility", "goodput_mbps", "mean_rtt_ms"],
-        [[name, out.goodput_mbps, out.mean_rtt_ms] for name, out in deep.items()],
-    )
-    # §4.4.2: the loss-resilient utility keeps most of the achievable goodput;
-    # the safe utility collapses once loss exceeds its 5% threshold.
-    assert lossy["loss_resilient"].goodput_mbps > 0.8 * achievable
-    assert lossy["loss_resilient"].goodput_mbps > 5.0 * lossy["safe"].goodput_mbps
-    # §4.4.1: the latency utility keeps queueing delay far below what the
-    # throughput-oriented safe utility builds in the same buffer.
-    assert deep["latency"].mean_rtt_ms < 0.5 * deep["safe"].mean_rtt_ms
-    assert deep["latency"].goodput_mbps > 0.5 * deep["safe"].goodput_mbps
+    outcome = run_once(benchmark, run_report_spec, "sec44_ablation",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

@@ -1,11 +1,13 @@
 """Shared helpers for the per-figure benchmark harness.
 
-Every benchmark regenerates one table or figure from the paper's evaluation:
-it runs the corresponding scenario (at the scaled-down durations documented in
-EXPERIMENTS.md), prints the rows/series the paper reports, and asserts the
-qualitative shape (who wins, by roughly what factor).  pytest-benchmark is used
-with a single round per benchmark because each "iteration" is a full
-packet-level simulation, not a micro-benchmark.
+Every benchmark is a thin wrapper over one :mod:`repro.report` spec: the
+scenario parameters, metric extraction and claim thresholds live in the spec
+catalog (`repro/report/specs.py`), and the benchmark runs it under
+pytest-benchmark, prints the rows the paper reports, and asserts that no
+claim FAILs.  ``python -m repro.report`` regenerates every figure at once
+into the REPORT.md claim ledger.  pytest-benchmark is used with a single
+round per benchmark because each "iteration" is a full packet-level
+simulation, not a micro-benchmark.
 """
 
 from __future__ import annotations
@@ -40,6 +42,27 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> 
             else:
                 cells.append(str(value).ljust(width))
         print("  ".join(cells))
+
+
+def print_spec_table(outcome) -> None:
+    """Print a report-spec outcome's extracted rows as an aligned table."""
+    spec = outcome.spec
+    print_table(
+        f"{spec.title} (§{spec.paper_section})",
+        spec.columns,
+        [[row.get(column) for column in spec.columns]
+         for row in outcome.rows],
+    )
+
+
+def assert_claims(outcome) -> None:
+    """Fail the benchmark if any of the spec's claims did not hold."""
+    failed = outcome.failed()
+    assert not failed, "; ".join(
+        f"{claim.claim.claim_id}: {claim.claim.text} — measured: "
+        f"{claim.measured}"
+        for claim in failed
+    )
 
 
 @pytest.fixture(scope="session")

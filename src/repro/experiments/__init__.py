@@ -52,6 +52,7 @@ _SWEEP_EXPORTS = (
 
 
 def __getattr__(name):
+    """Resolve the lazily re-exported sweep names (PEP 562)."""
     if name == "sweep" or name in _SWEEP_EXPORTS:
         import importlib
 

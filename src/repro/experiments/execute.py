@@ -1,0 +1,128 @@
+"""Deterministic fan-out execution of identity-keyed cells.
+
+One executor backs every experiment path that runs many independent cells —
+:func:`repro.experiments.sweep.sweep` over a :class:`~.sweep.SweepGrid`, and
+the scenario-list report specs of :mod:`repro.report` — so the streaming,
+resume and byte-identity guarantees are implemented (and tested) exactly once:
+
+* cells fan out across worker processes with ``imap_unordered``, but the
+  returned :class:`~repro.experiments.results.ResultSet` is assembled in
+  canonical cell order, so results are bit-identical for any worker count;
+* ``jsonl_path`` streams each record to disk the moment its cell completes;
+* ``resume_from`` skips every cell whose identity already appears in a prior
+  (possibly interrupted) run's file and executes only the missing ones —
+  cell-exactly, because identity is the canonical JSON of the cell's params.
+
+Cells must expose ``params() -> dict`` (the JSON-friendly identity) and be
+picklable; ``run_one`` must be a module-level function resolvable by worker
+processes, returning the record dict (``cell`` identity plus payload plus the
+non-deterministic ``wall_time_s``, which is stripped into
+:attr:`ResultSet.timings`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from functools import partial
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from .results import ResultSet, ResultSetWriter, cell_identity_key
+
+__all__ = ["execute_cells"]
+
+
+def _run_positioned(run_one: Callable[[Any], Dict[str, Any]],
+                    item: Tuple[int, Any]) -> Tuple[int, Dict[str, Any]]:
+    """Worker shim: keep the cell's grid position with its outcome, so the
+    parent can stream completion-ordered results and still assemble the
+    canonical cell-index ordering."""
+    position, cell = item
+    return position, run_one(cell)
+
+
+def execute_cells(
+    cells: Sequence[Any],
+    run_one: Callable[[Any], Dict[str, Any]],
+    base_seed: int,
+    workers: int = 1,
+    jsonl_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+) -> ResultSet:
+    """Run ``run_one`` over every cell, fanning out across ``workers`` processes.
+
+    The returned :class:`~repro.experiments.results.ResultSet` is in canonical
+    cell order and bit-identical for any ``workers`` value, provided each
+    cell's outcome is a pure function of the cell itself (private per-cell
+    seeds, no shared random state).
+
+    ``jsonl_path`` streams each cell's record to disk the moment it completes
+    (appending when it is the same file as ``resume_from``, otherwise starting
+    fresh), so an interrupted run loses at most the in-flight cells.
+    ``resume_from`` loads a prior run — a streaming JSONL file or a legacy
+    canonical JSON — and skips every cell whose identity already appears
+    there, executing only the missing ones; a path that does not exist yet is
+    treated as an empty prior run, so ``execute_cells(..., jsonl_path=p,
+    resume_from=p)`` is an idempotent, crash-restartable invocation.  The
+    prior file must have been produced with the same ``base_seed`` (cell
+    identities embed their derived seeds, so a mismatch could never match
+    anyway — it is reported as the error it is).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    outcomes: Dict[int, Tuple[Dict[str, Any], float]] = {}
+    if resume_from is not None and os.path.exists(resume_from):
+        prior = ResultSet.load(resume_from)
+        if prior.base_seed != base_seed:
+            raise ValueError(
+                f"cannot resume from {resume_from}: it was produced with "
+                f"base_seed {prior.base_seed}, not {base_seed}"
+            )
+        have = {cell_identity_key(record["cell"]): (record, wall)
+                for record, wall in zip(prior.cells, prior.timings)}
+        for position, cell in enumerate(cells):
+            hit = have.get(cell_identity_key(cell.params()))
+            if hit is not None:
+                outcomes[position] = hit
+    pending = [(position, cell) for position, cell in enumerate(cells)
+               if position not in outcomes]
+    writer: Optional[ResultSetWriter] = None
+    if jsonl_path is not None:
+        continuing = (resume_from is not None
+                      and os.path.exists(jsonl_path)
+                      and os.path.abspath(jsonl_path) == os.path.abspath(resume_from))
+        writer = ResultSetWriter(jsonl_path, base_seed=base_seed,
+                                 append=continuing)
+        if not continuing:
+            # A fresh stream file should be complete on its own: carry the
+            # records reused from resume_from over, so the produced JSONL is
+            # loadable/resumable without the prior file.  (When continuing
+            # the same file, they are already in it.)
+            for position in sorted(outcomes):
+                record, wall = outcomes[position]
+                writer.write(record, wall_time_s=wall)
+    try:
+        def take(position: int, outcome: Dict[str, Any]) -> None:
+            wall = outcome.pop("wall_time_s")
+            if writer is not None:
+                writer.write(outcome, wall_time_s=wall)
+            outcomes[position] = (outcome, wall)
+
+        if workers == 1 or len(pending) <= 1:
+            for position, cell in pending:
+                take(position, run_one(cell))
+        elif pending:
+            with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+                # imap_unordered: records hit the JSONL stream the moment each
+                # cell completes, not when its pool slot's turn comes up.
+                for position, outcome in pool.imap_unordered(
+                        partial(_run_positioned, run_one), pending, chunksize=1):
+                    take(position, outcome)
+    finally:
+        if writer is not None:
+            writer.close()
+    result = ResultSet(base_seed=base_seed)
+    for position in sorted(outcomes):
+        record, wall = outcomes[position]
+        result.append(record, wall)
+    return result

@@ -2,7 +2,11 @@
 
 The registry is both documentation (EXPERIMENTS.md's per-experiment index in
 machine-readable form) and a convenience for discovering which benchmark file
-regenerates which result.
+regenerates which result.  Every experiment id doubles as a
+:mod:`repro.report` spec id — ``python -m repro.report --only <id>``
+regenerates the figure/table into the REPORT.md claim ledger — and the
+report catalog asserts at import time that the two indexes name the same
+set of artifacts, so neither can drift.
 """
 
 from __future__ import annotations
@@ -32,6 +36,17 @@ class Experiment:
     def scheme_specs(self) -> List[SchemeSpec]:
         """The experiment's schemes resolved against the scheme registry."""
         return [SchemeSpec.parse(scheme) for scheme in self.schemes]
+
+    def report_spec(self):
+        """The :class:`repro.report.ReportSpec` that regenerates this
+        experiment (experiment ids double as report-spec ids).
+
+        Imported lazily: the report catalog builds on the experiments
+        package, so a top-level import would be circular.
+        """
+        from ..report import get_report_spec
+
+        return get_report_spec(self.experiment_id)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

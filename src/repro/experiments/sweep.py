@@ -39,22 +39,23 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
 import os
 import sys
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core import make_utility, policy_names, utility_names
 from ..registry import NameRegistry
 from ..schemes import (
     SchemeSpec,
+    available_schemes,
     register_scheme_variant,
     resolve_scheme_spec,
     scheme_variant_names,
 )
+from .execute import execute_cells
 from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
 from ..netsim import (
     SYNTHETIC_TRACES,
@@ -574,14 +575,6 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     }
 
 
-def _run_positioned_cell(item: Tuple[int, SweepCell]) -> Tuple[int, Dict[str, Any]]:
-    """Worker shim: keep the cell's grid position with its outcome, so the
-    parent can stream completion-ordered results and still assemble the
-    canonical cell-index ordering."""
-    position, cell = item
-    return position, run_cell(cell)
-
-
 def sweep(
     grid: SweepGrid,
     base_seed: int = 0,
@@ -607,66 +600,14 @@ def sweep(
     prior file must have been produced with the same ``base_seed`` (cell
     identities embed their derived seeds, so a mismatch could never match
     anyway — it is reported as the error it is).
-    """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    cells = grid.cells(base_seed)
-    outcomes: Dict[int, Tuple[Dict[str, Any], float]] = {}
-    if resume_from is not None and os.path.exists(resume_from):
-        prior = ResultSet.load(resume_from)
-        if prior.base_seed != base_seed:
-            raise ValueError(
-                f"cannot resume from {resume_from}: it was produced with "
-                f"base_seed {prior.base_seed}, not {base_seed}"
-            )
-        have = {cell_identity_key(record["cell"]): (record, wall)
-                for record, wall in zip(prior.cells, prior.timings)}
-        for position, cell in enumerate(cells):
-            hit = have.get(cell_identity_key(cell.params()))
-            if hit is not None:
-                outcomes[position] = hit
-    pending = [(position, cell) for position, cell in enumerate(cells)
-               if position not in outcomes]
-    writer: Optional[ResultSetWriter] = None
-    if jsonl_path is not None:
-        continuing = (resume_from is not None
-                      and os.path.exists(jsonl_path)
-                      and os.path.abspath(jsonl_path) == os.path.abspath(resume_from))
-        writer = ResultSetWriter(jsonl_path, base_seed=base_seed,
-                                 append=continuing)
-        if not continuing:
-            # A fresh stream file should be complete on its own: carry the
-            # records reused from resume_from over, so the produced JSONL is
-            # loadable/resumable without the prior file.  (When continuing
-            # the same file, they are already in it.)
-            for position in sorted(outcomes):
-                record, wall = outcomes[position]
-                writer.write(record, wall_time_s=wall)
-    try:
-        def take(position: int, outcome: Dict[str, Any]) -> None:
-            wall = outcome.pop("wall_time_s")
-            if writer is not None:
-                writer.write(outcome, wall_time_s=wall)
-            outcomes[position] = (outcome, wall)
 
-        if workers == 1 or len(pending) <= 1:
-            for position, cell in pending:
-                take(position, run_cell(cell))
-        elif pending:
-            with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-                # imap_unordered: records hit the JSONL stream the moment each
-                # cell completes, not when its pool slot's turn comes up.
-                for position, outcome in pool.imap_unordered(
-                        _run_positioned_cell, pending, chunksize=1):
-                    take(position, outcome)
-    finally:
-        if writer is not None:
-            writer.close()
-    result = ResultSet(base_seed=base_seed)
-    for position in sorted(outcomes):
-        record, wall = outcomes[position]
-        result.append(record, wall)
-    return result
+    The streaming/resume machinery itself lives in
+    :func:`repro.experiments.execute.execute_cells`, shared with the report
+    layer's scenario-list specs.
+    """
+    return execute_cells(grid.cells(base_seed), run_cell, base_seed,
+                         workers=workers, jsonl_path=jsonl_path,
+                         resume_from=resume_from)
 
 
 # --------------------------------------------------------------------------- #
@@ -685,9 +626,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Run a scenario-parameter sweep grid across CPU cores.",
     )
     parser.add_argument("--schemes", nargs="+", default=["pcc", "cubic"],
-                        help="congestion-control schemes (axis 1); pcc entries "
-                             "may carry a registered variant suffix, e.g. "
-                             "pcc:gradient or pcc:latency")
+                        metavar="SPEC",
+                        help="congestion-control scheme specs (axis 1); "
+                             "registered (variant specs included): "
+                             f"{', '.join(available_schemes())}")
     parser.add_argument("--bandwidth-mbps", nargs="+", type=float, default=[100.0],
                         help="bottleneck rates in Mbps (axis 2)")
     parser.add_argument("--rtt-ms", nargs="+", type=float, default=[30.0],

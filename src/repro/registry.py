@@ -42,6 +42,16 @@ class NameRegistry(Generic[T]):
                 f"{', '.join(self.names())}"
             ) from None
 
+    def discard(self, name: str) -> None:
+        """Remove ``name`` if present.
+
+        Exists solely so import-time registration blocks can roll back after
+        a failed import (a half-registered catalog would turn every retry
+        into a duplicate-name error masking the original exception); it is
+        not a license to mutate registries at runtime.
+        """
+        self._entries.pop(name, None)
+
     def names(self) -> List[str]:
         """All registered names, sorted."""
         return sorted(self._entries)

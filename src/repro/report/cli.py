@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro.report``.
+
+One command regenerates the paper's evidence::
+
+    python -m repro.report                         # every spec -> REPORT.md
+    python -m repro.report --only fig7,table1 \\
+        --report subset.md                         # a subset (explicit path)
+    python -m repro.report --workers 4 \\
+        --jsonl out/ --resume-from out/            # streamed + restartable
+    python -m repro.report --list                  # catalog with costs
+    python -m repro.report --matrix                # claim matrix (static)
+    python -m repro.report --matrix --check EXPERIMENTS.md   # CI drift gate
+
+``--jsonl``/``--resume-from`` take a *directory*; each spec streams to
+``<dir>/<spec_id>.jsonl``.  The rendered report is byte-identical for any
+``--workers`` value and across resumed runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .render import matrix_drift, render_matrix, render_report
+from .run import SpecOutcome, run_report_spec
+from .spec import ReportSpec, list_report_specs, report_spec_ids
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (spec ids resolved dynamically)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Regenerate the paper's figures/tables as a claim ledger.",
+    )
+    parser.add_argument("--only", default=None, metavar="IDS",
+                        help="comma-separated spec ids to run (default: all); "
+                             f"registered: {', '.join(report_spec_ids())}")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per spec (rendered output is "
+                             "identical for any value)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the rendered claim ledger here (default: "
+                             "REPORT.md for full runs; --only subsets must "
+                             "name a path explicitly so a partial ledger "
+                             "cannot silently overwrite the checked-in full "
+                             "one)")
+    parser.add_argument("--jsonl", default=None, metavar="DIR",
+                        help="stream per-cell records to <DIR>/<spec>.jsonl "
+                             "as cells complete")
+    parser.add_argument("--resume-from", default=None, metavar="DIR",
+                        help="skip cells already recorded in "
+                             "<DIR>/<spec>.jsonl files from a prior "
+                             "(possibly interrupted) run")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered specs with cell counts and "
+                             "cost estimates, then exit")
+    parser.add_argument("--matrix", action="store_true",
+                        help="print the static claim-status matrix (no "
+                             "simulation), then exit")
+    parser.add_argument("--check", default=None, metavar="PATH",
+                        help="with --matrix: verify that PATH contains the "
+                             "current matrix block; exit 1 on drift")
+    return parser
+
+
+def _select_specs(parser: argparse.ArgumentParser,
+                  only: Optional[str]) -> List[ReportSpec]:
+    """Resolve ``--only`` into catalog-ordered specs, erroring on unknowns."""
+    specs = list_report_specs()
+    if only is None:
+        return specs
+    wanted = [spec_id.strip() for spec_id in only.split(",")
+              if spec_id.strip()]
+    valid = {spec.spec_id for spec in specs}
+    unknown = [spec_id for spec_id in wanted if spec_id not in valid]
+    if unknown:
+        parser.error(
+            f"unknown report spec id(s) {', '.join(sorted(unknown))}; "
+            f"valid ids: {', '.join(report_spec_ids())}"
+        )
+    if not wanted:
+        parser.error("--only needs at least one spec id")
+    picked = set(wanted)
+    return [spec for spec in specs if spec.spec_id in picked]
+
+
+def _spec_paths(directory: Optional[str],
+                spec: ReportSpec) -> Optional[str]:
+    """The per-spec JSONL path inside ``directory`` (``None`` passthrough)."""
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{spec.spec_id}.jsonl")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the report CLI; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.check is not None and not args.matrix:
+        parser.error("--check requires --matrix")
+    if args.matrix:
+        if args.check is not None:
+            drift = matrix_drift(args.check)
+            if drift is not None:
+                print(drift, file=sys.stderr)
+                return 1
+            print(f"claim matrix in {args.check} matches the spec catalog")
+            return 0
+        print(render_matrix())
+        return 0
+    specs = _select_specs(parser, args.only)
+    if args.list:
+        print(f"{'spec':<16} {'§':<6} {'cells':>5} {'sim_s':>7}  title")
+        for spec in specs:
+            cells = len(spec.run.cells())
+            print(f"{spec.spec_id:<16} {spec.paper_section:<6} {cells:>5} "
+                  f"{spec.sim_seconds:>7.0f}  {spec.title}")
+        return 0
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    report_path = args.report
+    if report_path is None:
+        if args.only is not None:
+            # A subset ledger written to the default path would replace the
+            # checked-in 19-spec REPORT.md without any warning.
+            parser.error("--only produces a partial ledger; name its "
+                         "destination explicitly with --report PATH")
+        report_path = "REPORT.md"
+    if args.jsonl is not None:
+        os.makedirs(args.jsonl, exist_ok=True)
+    if args.resume_from is not None and not os.path.isdir(args.resume_from):
+        # Mirror the sweep CLI's stance: an explicitly-typed path that does
+        # not exist is far more likely a typo silently rerunning everything —
+        # unless it names the --jsonl directory itself, which is the
+        # idempotent-restart pattern and must work on the first invocation.
+        restartable = (args.jsonl is not None and
+                       os.path.abspath(args.resume_from)
+                       == os.path.abspath(args.jsonl))
+        if not restartable:
+            parser.error(f"--resume-from: {args.resume_from} is not a "
+                         f"directory")
+    outcomes: List[SpecOutcome] = []
+    for spec in specs:
+        jsonl_path = _spec_paths(args.jsonl, spec)
+        resume_path = _spec_paths(args.resume_from, spec)
+        if (resume_path is not None and jsonl_path != resume_path
+                and not os.path.exists(resume_path)):
+            # A missing per-spec file inside an existing resume directory is
+            # normal (the prior run may not have reached this spec yet).
+            resume_path = None
+        try:
+            outcome = run_report_spec(spec, workers=args.workers,
+                                      jsonl_path=jsonl_path,
+                                      resume_from=resume_path)
+        except ValueError as exc:
+            # e.g. resuming from a file produced with a different base seed.
+            parser.error(str(exc))
+        outcomes.append(outcome)
+        counts = outcome.status_counts()
+        print(f"{spec.spec_id}: {len(outcome.result)} cells; claims "
+              f"{counts['PASS']} PASS, {counts['DEVIATION']} DEVIATION, "
+              f"{counts['FAIL']} FAIL")
+        for failed in outcome.failed():
+            print(f"  FAIL {failed.claim.claim_id}: {failed.measured}")
+    with open(report_path, "w") as handle:
+        handle.write(render_report(outcomes))
+    print(f"wrote {report_path}")
+    return 1 if any(outcome.failed() for outcome in outcomes) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,8 +96,12 @@ _builtins_loaded = False
 
 
 def _ensure_builtins() -> None:
-    """Import the packages whose import-time side effect registers the
-    built-in schemes, so lookups never see a half-populated registry."""
+    """Import the packages that register the built-in schemes.
+
+    Registration is an import-time side effect of :mod:`repro.cc` and
+    :mod:`repro.core`; forcing both before any lookup means callers never
+    observe a half-populated registry.
+    """
     global _builtins_loaded
     if _builtins_loaded:
         return

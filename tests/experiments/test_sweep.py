@@ -672,3 +672,36 @@ class TestControllerKwargsIdentityIntegrity:
         grid = tiny_grid(schemes=("pcc:gradient",),
                          controller_kwargs={"min_packets_per_mi": 10})
         assert grid.cells(0)[0].controller_kwargs == {"min_packets_per_mi": 10}
+
+
+class TestHelpListsRegistries:
+    """`--help` must list the registries dynamically, not hard-coded examples
+    that drift when schemes/variants/topologies are registered."""
+
+    @staticmethod
+    def _unwrapped_help() -> str:
+        """The help text with argparse's line wrapping undone, so names that
+        were split across lines (argparse breaks at hyphens) match again."""
+        import re
+        from repro.experiments.sweep import _build_parser
+
+        return re.sub(r"\n\s*", "", _build_parser().format_help())
+
+    def test_help_lists_every_scheme_spec_and_topology(self):
+        from repro.schemes import available_schemes
+        from repro.experiments.sweep import topology_names
+
+        help_text = self._unwrapped_help()
+        for spec in available_schemes():
+            assert spec in help_text, f"--help does not mention {spec}"
+        for topology in topology_names():
+            assert topology in help_text
+
+    def test_help_lists_policies_and_utilities(self):
+        from repro.core import policy_names, utility_names
+
+        help_text = self._unwrapped_help()
+        for name in policy_names():
+            assert name in help_text
+        for name in utility_names():
+            assert name in help_text
