@@ -33,10 +33,10 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> 
     """Print an aligned results table (captured by pytest, shown with -s)."""
     print(f"\n=== {title} ===")
     widths = [max(len(str(h)), 12) for h in header]
-    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths, strict=True)))
     for row in rows:
         cells = []
-        for value, width in zip(row, widths):
+        for value, width in zip(row, widths, strict=False):
             if isinstance(value, float):
                 cells.append(f"{value:.2f}".ljust(width))
             else:

@@ -16,7 +16,7 @@ numerically and benchmarked against the packet-level simulator.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -81,7 +81,7 @@ class FluidModel:
         return 20.0 * self.capacity / 19.0
 
     def best_response(self, rates: Sequence[float], i: int,
-                      lo: float = None, hi: float = None,
+                      lo: Optional[float] = None, hi: Optional[float] = None,
                       tolerance: float = 1e-6) -> float:
         """Sender ``i``'s best response to the other senders' current rates.
 

@@ -19,7 +19,8 @@ multiplicative back-off when probes look congested.
 
 from __future__ import annotations
 
-from .base import RateController
+from ..netsim.packet import DEFAULT_MSS
+from .base import MIN_RATE_BPS, RateController
 
 __all__ = ["PcpController"]
 
@@ -30,7 +31,7 @@ class PcpController(RateController):
     def __init__(
         self,
         initial_rate_bps: float = 1_000_000.0,
-        mss: int = 1500,
+        mss: int = DEFAULT_MSS,
         probe_interval: float = 0.2,
         train_length: int = 8,
         delay_threshold: float = 0.003,
@@ -99,7 +100,7 @@ class PcpController(RateController):
         if delay_growth > self.delay_threshold:
             # The probe built queue: assume we are at (or above) the available
             # rate and back off.
-            self._rate_bps = max(self._rate_bps * 0.9, 8_000.0)
+            self._rate_bps = max(self._rate_bps * 0.9, MIN_RATE_BPS)
         else:
             # Move toward the dispersion estimate.  The estimate reflects the
             # bottleneck service rate experienced by the train, which competing
@@ -107,11 +108,11 @@ class PcpController(RateController):
             # the fragility the paper describes.
             target = min(estimate_bps, self._rate_bps * 4.0)
             self._rate_bps += self.gain * (target - self._rate_bps)
-            self._rate_bps = max(self._rate_bps, 8_000.0)
+            self._rate_bps = max(self._rate_bps, MIN_RATE_BPS)
 
     def on_loss(self, record, now: float) -> None:
         if record.is_probe:
             # A lost probe invalidates the train measurement.
             self._collecting = False
             return
-        self._rate_bps = max(self._rate_bps * 0.95, 8_000.0)
+        self._rate_bps = max(self._rate_bps * 0.95, MIN_RATE_BPS)

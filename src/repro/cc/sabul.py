@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import math
 
-from .base import RateController
+from ..netsim.packet import DEFAULT_MSS
+from .base import MIN_RATE_BPS, RateController
 
 __all__ = ["SabulController"]
 
@@ -43,7 +44,7 @@ class SabulController(RateController):
     def __init__(
         self,
         initial_rate_bps: float = 1_000_000.0,
-        mss: int = 1500,
+        mss: int = DEFAULT_MSS,
         decrease_factor: float = 1.125,
         freeze_intervals: int = 2,
         slow_start_gain: float = 2.0,
@@ -153,6 +154,6 @@ class SabulController(RateController):
         # cut if the lost packet was sent *after* the previous cut (losses of
         # packets already in flight at decrease time are part of the same event).
         if record is None or record.sent_time >= self._last_decrease_time:
-            self._rate_bps = max(self._rate_bps / self.decrease_factor, 8_000.0)
+            self._rate_bps = max(self._rate_bps / self.decrease_factor, MIN_RATE_BPS)
             self._last_decrease_time = now
             self._frozen_until = now + self.freeze_intervals * self.SYN_INTERVAL

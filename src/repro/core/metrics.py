@@ -42,7 +42,7 @@ class MonitorIntervalStats:
     )
 
     def __init__(self, mi_id: int, target_rate_bps: float, start_time: float,
-                 send_end_time: float, purpose: object = None):
+                 send_end_time: float, purpose: Optional[object] = None):
         self.mi_id = mi_id
         self.target_rate_bps = target_rate_bps
         self.start_time = start_time

@@ -24,6 +24,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..netsim.engine import Event, Simulator
+from ..netsim.packet import DEFAULT_MSS
 from .controller import MIN_RATE_BPS
 from .metrics import MonitorIntervalStats
 from .utility import SafeUtility, UtilityFunction
@@ -51,7 +52,7 @@ class PerformanceMonitor:
         rate_provider: Callable[[float], Tuple[float, object]],
         on_mi_complete: Callable[[MonitorIntervalStats], None],
         utility_function: Optional[UtilityFunction] = None,
-        mss: int = 1500,
+        mss: int = DEFAULT_MSS,
         min_packets_per_mi: int = DEFAULT_MIN_PACKETS_PER_MI,
         mi_rtt_range: Tuple[float, float] = DEFAULT_MI_RTT_RANGE,
         completion_timeout_rtts: float = 4.0,

@@ -1,0 +1,12 @@
+"""Developer tooling that machine-enforces the repo's unwritten contracts.
+
+The reproduction's guarantees — byte-identical sweeps across worker counts
+and resume, spawn-worker-resolvable registries, canonical orderings in every
+rendered artifact — rest on coding invariants that runtime tests can only
+probe after the fact.  :mod:`repro.devtools.lint` turns them into static,
+import-free checks over the AST, so the bug classes behind the seed's worst
+defects (shadow constants, wall-clock reads inside the simulation, orderings
+that depend on completion order) are caught before a sweep ever runs.
+"""
+
+__all__ = ["lint"]

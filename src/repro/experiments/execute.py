@@ -79,7 +79,8 @@ def execute_cells(
                 f"base_seed {prior.base_seed}, not {base_seed}"
             )
         have = {cell_identity_key(record["cell"]): (record, wall)
-                for record, wall in zip(prior.cells, prior.timings)}
+                for record, wall in zip(prior.cells, prior.timings,
+                                        strict=True)}
         for position, cell in enumerate(cells):
             hit = have.get(cell_identity_key(cell.params()))
             if hit is not None:

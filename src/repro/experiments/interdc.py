@@ -15,9 +15,9 @@ are the paper's measured values.  EXPERIMENTS.md records the scaling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..netsim import FlowSpec, Simulator, single_bottleneck
+from ..netsim import DEFAULT_MSS, FlowSpec, Simulator, single_bottleneck
 from .runner import run_flows
 
 __all__ = ["InterDCPair", "PAPER_PAIRS", "run_pair", "run_table"]
@@ -62,7 +62,7 @@ def run_pair(
     limiter_buffer_packets: int = 8,
     duration: float = 25.0,
     seed: int = 3,
-    mss: int = 1500,
+    mss: int = DEFAULT_MSS,
 ) -> float:
     """Run one protocol over one pair's emulated reserved path; Mbps goodput."""
     sim = Simulator(seed=seed)
@@ -79,7 +79,7 @@ def run_pair(
 
 def run_table(
     schemes: Sequence[str] = ("pcc", "sabul", "cubic", "illinois"),
-    pairs: Sequence[InterDCPair] = None,
+    pairs: Optional[Sequence[InterDCPair]] = None,
     reserved_bandwidth_bps: float = 200e6,
     duration: float = 25.0,
 ) -> List[dict]:

@@ -181,8 +181,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
 # registry — a registry/index drift (a renamed variant, a typo'd scheme)
 # fails at import time with the registry's own naming error, not when a
 # benchmark finally tries to simulate it.
-for _experiment in EXPERIMENTS.values():
-    _experiment.scheme_specs()
+for _experiment_id in sorted(EXPERIMENTS):
+    EXPERIMENTS[_experiment_id].scheme_specs()
 
 
 def get_experiment(experiment_id: str) -> Experiment:

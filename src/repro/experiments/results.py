@@ -141,7 +141,7 @@ class ResultSet:
         base_seed: int,
         records: Optional[Iterable[Dict[str, Any]]] = None,
         timings: Optional[Sequence[float]] = None,
-    ):
+    ) -> None:
         self.base_seed = int(base_seed)
         self._records: List[Dict[str, Any]] = []
         self._timings: List[float] = []
@@ -227,7 +227,7 @@ class ResultSet:
     def write_jsonl(self, path: str) -> None:
         """Persist as a streaming-format JSONL file (loadable, appendable)."""
         with ResultSetWriter(path, base_seed=self.base_seed) as writer:
-            for record, wall in zip(self.cells, self.timings):
+            for record, wall in zip(self.cells, self.timings, strict=True):
                 writer.write(record, wall_time_s=wall)
 
     @classmethod
@@ -305,7 +305,7 @@ class ResultSet:
         merged = cls(base_seed=base_seed)
         seen: Dict[str, Dict[str, Any]] = {}
         for part in results:
-            for record, wall in zip(part.cells, part.timings):
+            for record, wall in zip(part.cells, part.timings, strict=True):
                 _append_deduped(merged, seen, record, wall, context="merge")
         return merged
 
@@ -321,7 +321,8 @@ class ResultSet:
         Constraint values are compared for equality, or — when callable —
         applied as predicates: ``filter(scheme="pcc", loss_rate=lambda v: v > 0)``.
         """
-        picked = [(record, wall) for record, wall in zip(self.cells, self.timings)
+        picked = [(record, wall)
+                  for record, wall in zip(self.cells, self.timings, strict=True)
                   if _matches(record["cell"], params)]
         return ResultSet(
             self.base_seed,
@@ -340,7 +341,7 @@ class ResultSet:
         if not keys:
             raise ValueError("groupby needs at least one identity key")
         groups: Dict[Any, ResultSet] = {}
-        for record, wall in zip(self.cells, self.timings):
+        for record, wall in zip(self.cells, self.timings, strict=True):
             identity = record["cell"]
             values = tuple(_group_value(identity.get(key)) for key in keys)
             label = values[0] if len(keys) == 1 else values
@@ -376,8 +377,8 @@ class ResultSet:
     def _metric_value(record: Dict[str, Any],
                       metric: Union[str, Callable[[Dict[str, Any]], float]]) -> float:
         if callable(metric):
-            return metric(record)
-        return sum(flow[metric] for flow in record["flows"])
+            return float(metric(record))
+        return float(sum(flow[metric] for flow in record["flows"]))
 
     def goodput_mbps(self, **params: Any) -> float:
         """Total goodput (Mbps, summed over flows) of the single matching cell.
@@ -389,7 +390,7 @@ class ResultSet:
         """
         matches = self.find(**params)
         if len(matches) == 1:
-            return sum(flow["goodput_mbps"] for flow in matches[0]["flows"])
+            return float(sum(flow["goodput_mbps"] for flow in matches[0]["flows"]))
         if not matches:
             raise KeyError(self._no_match_message(params))
         raise KeyError(self._ambiguous_message(params, matches))
@@ -431,7 +432,8 @@ class ResultSet:
     # -- trajectory metrics ---------------------------------------------------
     @property
     def total_events(self) -> int:
-        return sum(record["engine"]["events_processed"] for record in self._records)
+        return int(sum(record["engine"]["events_processed"]
+                       for record in self._records))
 
     @property
     def total_wall_time_s(self) -> float:
@@ -454,7 +456,7 @@ class ResultSetWriter:
     validating that its header matches (the resume path).
     """
 
-    def __init__(self, path: str, base_seed: int, append: bool = False):
+    def __init__(self, path: str, base_seed: int, append: bool = False) -> None:
         self.path = path
         self.base_seed = int(base_seed)
         if append and os.path.exists(path) and os.path.getsize(path) > 0:
@@ -538,7 +540,7 @@ class SweepResult(ResultSet):
     """
 
     def __init__(self, base_seed: int, cells: List[Dict[str, Any]],
-                 timings: List[float]):
+                 timings: List[float]) -> None:
         warnings.warn(
             "SweepResult is deprecated; use repro.experiments.results.ResultSet",
             DeprecationWarning, stacklevel=2,

@@ -55,7 +55,17 @@ __all__ = [
     "extreme_loss_scenario",
     "aqm_power_scenario",
     "utility_ablation_scenario",
+    "CONTENTION_BANDWIDTH_BPS",
+    "RESPONSIVENESS_BANDWIDTH_BPS",
 ]
+
+#: Default bottleneck capacities shared between the scenario signatures here
+#: and the report specs that re-state them (named so the two can never drift
+#: apart): 20 Mbps for the multi-flow contention scenarios (convergence,
+#: fairness timescales, utility ablation), 50 Mbps for the single-flow
+#: responsiveness scenarios (stability/reactiveness trade-off, extreme loss).
+CONTENTION_BANDWIDTH_BPS = 20e6
+RESPONSIVENESS_BANDWIDTH_BPS = 50e6
 
 #: Scheme -> PCC-specific keyword arguments injected automatically.
 _PCC_DEFAULTS: Dict[str, object] = {}
@@ -373,7 +383,7 @@ def convergence_scenario(
     num_flows: int = 4,
     stagger: float = 25.0,
     flow_duration: float = 100.0,
-    bandwidth_bps: float = 20e6,
+    bandwidth_bps: float = CONTENTION_BANDWIDTH_BPS,
     rtt: float = 0.03,
     bin_width: float = 1.0,
     seed: int = 1,
@@ -497,7 +507,7 @@ def short_flow_scenario(
 # --------------------------------------------------------------------------- #
 def tradeoff_scenario(
     scheme: str,
-    bandwidth_bps: float = 50e6,
+    bandwidth_bps: float = RESPONSIVENESS_BANDWIDTH_BPS,
     rtt: float = 0.03,
     first_flow_head_start: float = 10.0,
     measure_duration: float = 60.0,
@@ -549,7 +559,7 @@ def extreme_loss_scenario(
     loss_rate: float,
     scheme: str = "pcc",
     duration: float = 30.0,
-    bandwidth_bps: float = 50e6,
+    bandwidth_bps: float = RESPONSIVENESS_BANDWIDTH_BPS,
     rtt: float = 0.03,
     seed: int = 1,
 ) -> ScenarioOutcome:
@@ -638,7 +648,7 @@ def aqm_power_scenario(
 def utility_ablation_scenario(
     environment: str = "lossy",
     utilities: Sequence[Optional[str]] = (None, "loss_resilient", "latency"),
-    bandwidth_bps: float = 20e6,
+    bandwidth_bps: float = CONTENTION_BANDWIDTH_BPS,
     rtt: float = 0.03,
     loss_rate: float = 0.3,
     buffer_bytes: float = 2_000_000.0,

@@ -540,6 +540,7 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     into :attr:`~repro.experiments.results.ResultSet.timings` so that the
     canonical JSON stays byte-identical run to run.
     """
+    # repro-lint: disable=RPL001 wall-time telemetry; stripped into ResultSet.timings, never canonical JSON
     start = time.perf_counter()
     sim = Simulator(seed=cell.seed)
     paths = _TOPOLOGIES.get(cell.topology).builder(sim, cell)
@@ -562,7 +563,7 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
         for i in range(cell.num_flows)
     ]
     result = run_flows(sim, paths, specs, duration=cell.duration)
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro-lint: disable=RPL001 wall-time telemetry
     return {
         "cell": cell.params(),
         "flows": result.summary_rows(),
@@ -644,7 +645,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "1 + hops for parking_lot so every hop carries "
                              "cross traffic")
     parser.add_argument("--utility", nargs="+", default=None,
-                        choices=sorted(utility_names() + ["default"]),
+                        choices=sorted([*utility_names(), "default"]),
                         metavar="NAME",
                         help="utility functions for pcc-based schemes "
                              f"(axis 7): {', '.join(utility_names())}, or "

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Optional
 
-from .packet import Packet
+from .packet import DEFAULT_MSS, Packet
 
 __all__ = [
     "QueueDiscipline",
@@ -181,7 +181,7 @@ class CoDelQueue(QueueDiscipline):
 
     def _should_drop(self, packet: Packet, now: float) -> bool:
         sojourn = now - packet.enqueue_time
-        if sojourn < self.target or self.bytes_queued <= 2 * 1500:
+        if sojourn < self.target or self.bytes_queued <= 2 * DEFAULT_MSS:
             self._first_above_time = 0.0
             return False
         if self._first_above_time == 0.0:
@@ -238,7 +238,7 @@ class FairQueue(QueueDiscipline):
     def __init__(
         self,
         child_factory: Optional[Callable[[], QueueDiscipline]] = None,
-        quantum_bytes: int = 1500,
+        quantum_bytes: int = DEFAULT_MSS,
         per_flow_capacity_bytes: float = 10_000_000.0,
     ):
         super().__init__()

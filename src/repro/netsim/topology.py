@@ -244,7 +244,7 @@ class ParkingLot:
     @property
     def paths(self) -> List[Path]:
         """All paths, long flow first — the order sweeps assign flows in."""
-        return [self.long_path] + self.cross_paths
+        return [self.long_path, *self.cross_paths]
 
     @property
     def num_hops(self) -> int:
@@ -310,8 +310,8 @@ def parking_lot(
 
     long_fwd, long_rev = access_pair("long")
     topo.long_path = Path(
-        [long_fwd] + topo.hops,
-        list(reversed(topo.reverse_hops)) + [long_rev],
+        [long_fwd, *topo.hops],
+        [*reversed(topo.reverse_hops), long_rev],
     )
     for i in range(num_hops):
         cross_fwd, cross_rev = access_pair(f"cross-{i}")

@@ -11,7 +11,7 @@ of once per registry.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, List, TypeVar
+from typing import Dict, Generic, List, Tuple, TypeVar
 
 __all__ = ["NameRegistry"]
 
@@ -21,7 +21,7 @@ T = TypeVar("T")
 class NameRegistry(Generic[T]):
     """A write-once mapping from names to entries with uniform error text."""
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         #: Human-readable entry kind used in error messages ("policy", ...).
         self.kind = kind
         self._entries: Dict[str, T] = {}
@@ -56,9 +56,9 @@ class NameRegistry(Generic[T]):
         """All registered names, sorted."""
         return sorted(self._entries)
 
-    def items(self) -> List[tuple]:
+    def items(self) -> List[Tuple[str, T]]:
         """``(name, entry)`` pairs, sorted by name."""
-        return sorted(self._entries.items())
+        return [(name, self._entries[name]) for name in self.names()]
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries

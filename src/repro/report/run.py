@@ -37,12 +37,14 @@ def _run_scenario_cell(cell: ScenarioCell) -> Dict[str, Any]:
     the runner's metrics dict, and the non-deterministic ``wall_time_s`` that
     the executor strips into :attr:`ResultSet.timings`.
     """
+    # repro-lint: disable=RPL001 wall-time telemetry; stripped into ResultSet.timings, never canonical JSON
     start = time.perf_counter()
     fn = get_scenario_runner(cell.runner)
     metrics = fn(seed=cell.seed, **cell.kwargs)
     return {
         "cell": cell.params(),
         "metrics": metrics,
+        # repro-lint: disable=RPL001 wall-time telemetry
         "wall_time_s": time.perf_counter() - start,
     }
 
@@ -80,7 +82,7 @@ def evaluate_claims(spec: ReportSpec, rows: List[Dict[str, Any]],
     for claim in spec.claims:
         try:
             ok, measured = claim.check(rows, result)
-        except Exception as exc:  # noqa: BLE001 - any check error means FAIL
+        except Exception as exc:  # repro-lint: disable=RPL005 converted, not swallowed: any check error becomes a FAIL verdict below
             ok, measured = False, f"check raised {type(exc).__name__}: {exc}"
         status = claim.expected_status() if ok else "FAIL"
         out.append(ClaimResult(claim=claim, measured=measured, status=status))

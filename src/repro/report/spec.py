@@ -235,10 +235,10 @@ def _ensure_catalog() -> None:
         from . import specs  # noqa: F401  (registration side effects)
     except BaseException:
         _catalog_loaded = False
-        for spec_id in set(_SPEC_ORDER) - set(specs_before):
+        for spec_id in sorted(set(_SPEC_ORDER) - set(specs_before)):
             _SPECS.discard(spec_id)
         _SPEC_ORDER[:] = specs_before
-        for name in set(_SCENARIO_RUNNERS.names()) - runners_before:
+        for name in sorted(set(_SCENARIO_RUNNERS.names()) - runners_before):
             _SCENARIO_RUNNERS.discard(name)
         raise
 

@@ -29,6 +29,8 @@ from ..experiments.internet import (
 from ..experiments.registry import EXPERIMENTS
 from ..experiments.results import ResultSet
 from ..experiments.scenarios import (
+    CONTENTION_BANDWIDTH_BPS,
+    RESPONSIVENESS_BANDWIDTH_BPS,
     aqm_power_scenario,
     convergence_scenario,
     dynamic_network_scenario,
@@ -41,7 +43,7 @@ from ..experiments.scenarios import (
     utility_ablation_scenario,
 )
 from ..experiments.sweep import SweepGrid
-from ..netsim import SYNTHETIC_TRACES
+from ..netsim import DEFAULT_MSS, SYNTHETIC_TRACES
 from .spec import (
     Claim,
     GridRun,
@@ -510,7 +512,8 @@ register_report_spec(ReportSpec(
 # Figure 9 — shallow buffers
 # --------------------------------------------------------------------------- #
 _F9_SCHEMES = ("pcc", "reno_paced", "cubic")
-_F9_BUFFERS = (1_500.0, 9_000.0, 45_000.0, 375_000.0)
+# Buffer depths in packets (x MSS): 1-packet "shallow" up to deep/BDP-scale.
+_F9_BUFFERS = tuple(packets * float(DEFAULT_MSS) for packets in (1, 6, 30, 250))
 
 
 def _fig9_rows(result: ResultSet) -> List[Dict[str, Any]]:
@@ -745,7 +748,7 @@ register_report_spec(ReportSpec(
 _F12_FLOWS = 4
 _F12_STAGGER = 20.0
 _F12_FLOW_DURATION = 60.0
-_F12_BANDWIDTH = 20e6
+_F12_BANDWIDTH = CONTENTION_BANDWIDTH_BPS
 
 
 def _run_convergence_stats(seed: int, scheme: str, num_flows: int,
@@ -866,7 +869,7 @@ register_report_spec(ReportSpec(
         ScenarioCell(index=i, runner="jain_timescales", seed=9,
                      kwargs={"scheme": scheme, "num_flows": 3,
                              "stagger": 10.0, "flow_duration": 60.0,
-                             "bandwidth_bps": 20e6,
+                             "bandwidth_bps": CONTENTION_BANDWIDTH_BPS,
                              "timescales": list(_F13_TIMESCALES)})
         for i, scheme in enumerate(_F13_SCHEMES)
     ), base_seed=9),
@@ -1273,7 +1276,7 @@ register_report_spec(ReportSpec(
 # §4.4.2 — extreme random loss
 # --------------------------------------------------------------------------- #
 _S442_LOSSES = (0.1, 0.3)
-_S442_BANDWIDTH = 50e6
+_S442_BANDWIDTH = RESPONSIVENESS_BANDWIDTH_BPS
 
 
 def _run_extreme_loss(seed: int, scheme: str, loss: float,

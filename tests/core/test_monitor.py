@@ -218,7 +218,7 @@ class TestFeedbackAccounting:
         sim = Simulator()
         monitor, _, completed = make_monitor(sim)
         now = 0.0
-        for round_index in range(3):
+        for _round_index in range(3):
             mi_id = monitor.current_mi_id(now, 0.03)
             monitor.record_send(mi_id, 1500)
             end = monitor.current_interval.send_end_time
@@ -236,7 +236,7 @@ class TestFeedbackAccounting:
         sim = Simulator()
         monitor, _, completed = make_monitor(sim, max_completed_history=3)
         now = 0.0
-        for round_index in range(5):
+        for _round_index in range(5):
             mi_id = monitor.current_mi_id(now, 0.03)
             monitor.record_send(mi_id, 1500)
             end = monitor.current_interval.send_end_time

@@ -394,14 +394,14 @@ class TestCli:
         ]
         fresh_out = tmp_path / "fresh.json"
         jsonl = tmp_path / "stream.jsonl"
-        assert main(base_args + ["--workers", "2", "--jsonl", str(jsonl),
+        assert main([*base_args, "--workers", "2", "--jsonl", str(jsonl),
                                  "--output", str(fresh_out)]) == 0
         # Simulate the interruption: drop the 4-cell stream to header + 1 cell.
         partial = tmp_path / "partial.jsonl"
         partial.write_text("".join(
             line + "\n" for line in jsonl.read_text().splitlines()[:2]))
         resumed_out = tmp_path / "resumed.json"
-        assert main(base_args + ["--workers", "2",
+        assert main([*base_args, "--workers", "2",
                                  "--resume-from", str(partial),
                                  "--jsonl", str(partial),
                                  "--output", str(resumed_out)]) == 0
@@ -435,9 +435,9 @@ class TestCli:
         jsonl = tmp_path / "seed1.jsonl"
         args = ["--schemes", "cubic", "--bandwidth-mbps", "5",
                 "--duration", "1"]
-        assert main(args + ["--seed", "1", "--jsonl", str(jsonl)]) == 0
+        assert main([*args, "--seed", "1", "--jsonl", str(jsonl)]) == 0
         with pytest.raises(SystemExit):
-            main(args + ["--seed", "2", "--resume-from", str(jsonl)])
+            main([*args, "--seed", "2", "--resume-from", str(jsonl)])
         assert "base_seed" in capsys.readouterr().err
 
     def test_trace_topology(self, tmp_path):

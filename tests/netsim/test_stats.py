@@ -158,7 +158,7 @@ class TestFlowStats:
 
     def test_throughput_series_in_mbps(self):
         stats = FlowStats(1, bin_width=1.0)
-        for i in range(10):
+        for _i in range(10):
             stats.record_delivery(0.5, 125_000, is_new=True)  # 1 Mbit each
         series = stats.throughput_series_mbps(0.0, 0.0)
         assert series[0] == pytest.approx(10.0)
