@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..units import Bps, Seconds
+
 __all__ = [
     "convergence_time",
     "rate_std_dev",
@@ -77,7 +79,7 @@ def rate_std_dev(
     return math.sqrt(variance)
 
 
-def power(throughput_bps: float, delay_seconds: float) -> float:
+def power(throughput_bps: Bps, delay_seconds: Seconds) -> float:
     """The power metric of Figure 17: throughput divided by delay."""
     if delay_seconds <= 0:
         return 0.0

@@ -19,6 +19,7 @@ multiplicative back-off when probes look congested.
 
 from __future__ import annotations
 
+from ..core.units import BITS_PER_BYTE
 from ..netsim.packet import DEFAULT_MSS
 from .base import MIN_RATE_BPS, RateController
 
@@ -95,7 +96,7 @@ class PcpController(RateController):
         dispersion = (last_arrival - first_arrival) / (len(acks) - 1)
         if dispersion <= 0:
             return
-        estimate_bps = self.mss * 8.0 / dispersion
+        estimate_bps = self.mss * BITS_PER_BYTE / dispersion
         delay_growth = last_rtt - first_rtt
         if delay_growth > self.delay_threshold:
             # The probe built queue: assume we are at (or above) the available

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 
+from ..core.units import BITS_PER_BYTE
 from ..netsim.packet import DEFAULT_MSS
 from .base import MIN_RATE_BPS, RateController
 
@@ -115,19 +116,19 @@ class SabulController(RateController):
         self._last_syn_time = now
         if now < self._frozen_until:
             return
-        current_pps = self._rate_bps / (self.mss * 8.0)
+        current_pps = self._rate_bps / (self.mss * BITS_PER_BYTE)
         # Aim slightly above the packet-pair capacity estimate so the sender
         # keeps probing past the bottleneck (the overshoot the paper describes).
         capacity_pps = max(self._capacity_estimate_pps * 1.05, current_pps * 1.02)
-        spare_bps = max((capacity_pps - current_pps) * self.mss * 8.0, 0.0)
+        spare_bps = max((capacity_pps - current_pps) * self.mss * BITS_PER_BYTE, 0.0)
         if spare_bps <= 0.0:
             extra_packets_per_syn = 1.0 / self.mss
         else:
-            # UDT draft: inc = max(10^ceil(log10(spare_bits_per_sec)) * Beta / mss,
+            # UDT draft: inc = max(10^ceil(log10(spare_bps)) * Beta / mss,
             # 1/mss) packets per SYN, with Beta = 1.5e-6 and mss in bytes.
             magnitude = 10.0 ** math.ceil(math.log10(spare_bps))
             extra_packets_per_syn = max(magnitude * 1.5e-6 / self.mss, 1.0 / self.mss)
-        self._rate_bps += extra_packets_per_syn * self.mss * 8.0 / self.SYN_INTERVAL
+        self._rate_bps += extra_packets_per_syn * self.mss * BITS_PER_BYTE / self.SYN_INTERVAL
 
     # ------------------------------------------------------------------ #
     # Feedback
@@ -146,7 +147,7 @@ class SabulController(RateController):
             self.in_slow_start = False
             fallback_pps = self._delivery_rate_pps or self._capacity_estimate_pps
             if fallback_pps > 0:
-                self._rate_bps = fallback_pps * self.mss * 8.0
+                self._rate_bps = fallback_pps * self.mss * BITS_PER_BYTE
             self._last_decrease_time = now
             self._frozen_until = now + self.freeze_intervals * self.SYN_INTERVAL
             return

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .metrics import MonitorIntervalStats
+from .units import BPS_PER_MBPS, Bps
 
 __all__ = ["PCCController", "ControllerState", "MIPurpose"]
 
@@ -69,12 +70,12 @@ class PCCController:
 
     def __init__(
         self,
-        initial_rate_bps: float = 1_000_000.0,
+        initial_rate_bps: Bps = 1_000_000.0,
         epsilon_min: float = 0.01,
         epsilon_max: float = 0.05,
         use_rct: bool = True,
-        max_rate_bps: float = 1e12,
-        min_rate_bps: float = MIN_RATE_BPS,
+        max_rate_bps: Bps = 1e12,
+        min_rate_bps: Bps = MIN_RATE_BPS,
     ):
         if epsilon_min <= 0 or epsilon_max < epsilon_min:
             raise ValueError("need 0 < epsilon_min <= epsilon_max")
@@ -117,7 +118,7 @@ class PCCController:
     def _clamp(self, rate: float) -> float:
         return min(max(rate, self.min_rate_bps), self.max_rate_bps)
 
-    def reset_initial_rate(self, rate_bps: float) -> None:
+    def reset_initial_rate(self, rate_bps: Bps) -> None:
         """Restart the rate search from ``rate_bps`` (clamped to the bounds).
 
         Called at flow start once the path RTT is known, to apply the §3.2
@@ -293,6 +294,6 @@ class PCCController:
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"PCCController(state={self.state.value}, rate={self.rate_bps / 1e6:.3f} Mbps, "
+            f"PCCController(state={self.state.value}, rate={self.rate_bps / BPS_PER_MBPS:.3f} Mbps, "
             f"eps={self.epsilon:.3f})"
         )

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from .units import BITS_PER_BYTE, BPS_PER_MBPS
+
 __all__ = ["MonitorIntervalStats"]
 
 
@@ -137,13 +139,13 @@ class MonitorIntervalStats:
                 # The first ACK marks the start of the span, so it contributes
                 # the starting point rather than delivered-bytes-per-span.
                 per_packet = self.bytes_acked / self.packets_acked
-                return (self.bytes_acked - per_packet) * 8.0 / span
-        return self.bytes_acked * 8.0 / self.duration
+                return (self.bytes_acked - per_packet) * BITS_PER_BYTE / span
+        return self.bytes_acked * BITS_PER_BYTE / self.duration
 
     @property
     def sending_rate_bps(self) -> float:
         """Actually achieved sending rate over the MI (bits per second)."""
-        return self.bytes_sent * 8.0 / self.duration
+        return self.bytes_sent * BITS_PER_BYTE / self.duration
 
     @property
     def mean_rtt(self) -> float:
@@ -170,7 +172,7 @@ class MonitorIntervalStats:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         utility = "None" if self.utility is None else f"{self.utility:.3f}"
         return (
-            f"MI(id={self.mi_id}, rate={self.target_rate_bps / 1e6:.2f} Mbps, "
+            f"MI(id={self.mi_id}, rate={self.target_rate_bps / BPS_PER_MBPS:.2f} Mbps, "
             f"sent={self.packets_sent}, acked={self.packets_acked}, "
             f"lost={self.packets_lost}, u={utility})"
         )

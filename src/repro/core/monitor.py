@@ -27,6 +27,7 @@ from ..netsim.engine import Event, Simulator
 from ..netsim.packet import DEFAULT_MSS
 from .controller import MIN_RATE_BPS
 from .metrics import MonitorIntervalStats
+from .units import BITS_PER_BYTE, Bps
 from .utility import SafeUtility, UtilityFunction
 
 __all__ = ["PerformanceMonitor"]
@@ -56,7 +57,7 @@ class PerformanceMonitor:
         min_packets_per_mi: int = DEFAULT_MIN_PACKETS_PER_MI,
         mi_rtt_range: Tuple[float, float] = DEFAULT_MI_RTT_RANGE,
         completion_timeout_rtts: float = 4.0,
-        min_rate_bps: float = MIN_RATE_BPS,
+        min_rate_bps: Bps = MIN_RATE_BPS,
         max_completed_history: int = 100_000,
     ):
         self.sim = sim
@@ -117,7 +118,7 @@ class PerformanceMonitor:
     def _open_new(self, now: float, rtt_estimate: float) -> None:
         rate_bps, purpose = self._rate_provider(now)
         rate_bps = max(rate_bps, self.min_rate_bps)
-        min_duration = self.min_packets_per_mi * self.mss * 8.0 / rate_bps
+        min_duration = self.min_packets_per_mi * self.mss * BITS_PER_BYTE / rate_bps
         rtt = max(rtt_estimate, 1e-4)
         random_duration = self.sim.rng.uniform(*self.mi_rtt_range) * rtt
         duration = max(min_duration, random_duration)

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_chec
 from ..registry import NameRegistry
 from .controller import MIN_RATE_BPS, MIPurpose, PCCController
 from .metrics import MonitorIntervalStats
+from .units import BPS_PER_MBPS
 
 __all__ = [
     "RateControlPolicy",
@@ -236,7 +237,7 @@ class GradientAscentPolicy:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         phase = "starting" if self._starting else "probing"
         return (
-            f"GradientAscentPolicy(phase={phase}, rate={self.rate_bps / 1e6:.3f} Mbps, "
+            f"GradientAscentPolicy(phase={phase}, rate={self.rate_bps / BPS_PER_MBPS:.3f} Mbps, "
             f"streak={self._streak})"
         )
 

@@ -27,6 +27,7 @@ from ..netsim.stats import FlowStats
 from .metrics import MonitorIntervalStats
 from .monitor import DEFAULT_MI_RTT_RANGE, DEFAULT_MIN_PACKETS_PER_MI, PerformanceMonitor
 from .policy import RateControlPolicy, make_policy
+from .units import BITS_PER_BYTE
 from .utility import SafeUtility, UtilityFunction, make_utility
 
 __all__ = ["PCCScheme", "make_pcc_sender"]
@@ -174,7 +175,7 @@ class PCCScheme:
         if self._reset_rate_at_flow_start:
             # §3.2: start at 2 * MSS / RTT, exactly like TCP's initial window.
             self.policy.reset_initial_rate(
-                max(2.0 * sender.mss * 8.0 / base_rtt, self.policy.min_rate_bps)
+                max(2.0 * sender.mss * BITS_PER_BYTE / base_rtt, self.policy.min_rate_bps)
             )
         self.policy.attach_rng(sender.sim.rng)
         self.monitor = PerformanceMonitor(

@@ -1,0 +1,57 @@
+"""Public home of the unit aliases and conversion constants.
+
+The implementation lives in :mod:`repro.units`, a leaf module with no
+intra-package dependencies, so that the bottom layer (:mod:`repro.netsim`)
+can import the constants without pulling in :mod:`repro.core`'s package
+initialisation (which imports the sender stack and would cycle back into
+``netsim``).  This module re-exports everything under the documented
+``repro.core.units`` name; the two are the same objects.
+"""
+
+from __future__ import annotations
+
+from ..units import (
+    BITS_PER_BYTE,
+    BPS_PER_GBPS,
+    BPS_PER_MBPS,
+    BYTES_PER_KB,
+    MS_PER_S,
+    Bits,
+    Bps,
+    Bytes,
+    Gbps,
+    Mbps,
+    Ms,
+    Packets,
+    Seconds,
+    Unit,
+    bits_to_bytes,
+    bps_to_mbps,
+    bytes_to_bits,
+    mbps_to_bps,
+    ms_to_s,
+    s_to_ms,
+)
+
+__all__ = [
+    "Unit",
+    "Bps",
+    "Mbps",
+    "Gbps",
+    "Bytes",
+    "Bits",
+    "Seconds",
+    "Ms",
+    "Packets",
+    "BITS_PER_BYTE",
+    "BPS_PER_MBPS",
+    "BPS_PER_GBPS",
+    "MS_PER_S",
+    "BYTES_PER_KB",
+    "bps_to_mbps",
+    "mbps_to_bps",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "s_to_ms",
+    "ms_to_s",
+]

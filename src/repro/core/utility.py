@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Protocol
 
+from .units import BPS_PER_MBPS
+
 from ..registry import NameRegistry
 from .metrics import MonitorIntervalStats
 
@@ -89,8 +91,8 @@ class SafeUtility:
     def __call__(self, mi: MonitorIntervalStats,
                  previous: Optional[MonitorIntervalStats] = None) -> float:
         loss = mi.loss_rate
-        throughput_mbps = mi.throughput_bps / 1e6
-        rate_mbps = mi.sending_rate_bps / 1e6
+        throughput_mbps = mi.throughput_bps / BPS_PER_MBPS
+        rate_mbps = mi.sending_rate_bps / BPS_PER_MBPS
         gate = sigmoid(loss - self.loss_threshold, self.alpha)
         return throughput_mbps * gate - rate_mbps * loss
 
@@ -103,7 +105,7 @@ class SimpleUtility:
 
     def __call__(self, mi: MonitorIntervalStats,
                  previous: Optional[MonitorIntervalStats] = None) -> float:
-        return mi.throughput_bps / 1e6 - (mi.sending_rate_bps / 1e6) * mi.loss_rate
+        return mi.throughput_bps / BPS_PER_MBPS - (mi.sending_rate_bps / BPS_PER_MBPS) * mi.loss_rate
 
 
 class LossResilientUtility:
@@ -116,7 +118,7 @@ class LossResilientUtility:
 
     def __call__(self, mi: MonitorIntervalStats,
                  previous: Optional[MonitorIntervalStats] = None) -> float:
-        return (mi.throughput_bps / 1e6) * (1.0 - mi.loss_rate)
+        return (mi.throughput_bps / BPS_PER_MBPS) * (1.0 - mi.loss_rate)
 
 
 class LatencyUtility:
@@ -141,8 +143,8 @@ class LatencyUtility:
             return 0.0
         rtt_prev = previous.mean_rtt if previous is not None and previous.mean_rtt > 0 \
             else rtt_now
-        throughput_mbps = mi.throughput_bps / 1e6
-        rate_mbps = mi.sending_rate_bps / 1e6
+        throughput_mbps = mi.throughput_bps / BPS_PER_MBPS
+        rate_mbps = mi.sending_rate_bps / BPS_PER_MBPS
         gate = sigmoid(mi.loss_rate - self.loss_threshold, self.alpha)
         numerator = throughput_mbps * gate * (rtt_prev / rtt_now) - rate_mbps * mi.loss_rate
         return numerator / rtt_now

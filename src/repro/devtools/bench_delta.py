@@ -1,0 +1,135 @@
+"""Compare two pytest-benchmark JSON reports and print a wall-time delta.
+
+CI runs the tracked benchmark subset on every commit and uploads the raw
+``BENCH_report.json``.  This tool closes the loop: the benchmarks job
+downloads the previous run's artifact and compares it against the fresh one,
+so speed regressions are visible PR-over-PR instead of hiding in an artifact
+nobody opens.
+
+The comparison is **warn-only by design**: benchmark machines in shared CI
+are noisy, so a hard gate would flake.  The exit code is always 0 unless the
+inputs are unreadable; regressions beyond the threshold are printed with a
+``WARN`` marker (and a ``::warning::`` line for GitHub annotations) so they
+surface in the job summary without blocking the merge.
+
+Usage::
+
+    python -m repro.devtools.bench_delta previous.json current.json
+    python -m repro.devtools.bench_delta previous.json current.json --threshold 1.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["load_means", "compare", "format_table", "main"]
+
+#: Ratio (current / previous mean wall time) above which a row is flagged.
+DEFAULT_THRESHOLD = 1.20
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Map benchmark fullname -> mean wall time (seconds) from a report file."""
+    data = json.loads(path.read_text())
+    means: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[str(name)] = float(mean)
+    return means
+
+
+def compare(
+    previous: Dict[str, float], current: Dict[str, float]
+) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    """Rows of (name, previous mean, current mean), union of both reports.
+
+    A ``None`` on either side means the benchmark only exists in the other
+    report (added or removed since the previous run).
+    """
+    names = sorted(set(previous) | set(current))
+    return [(name, previous.get(name), current.get(name)) for name in names]
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    return f"{value:12.6f}" if value is not None else "           -"
+
+
+def format_table(
+    rows: Sequence[Tuple[str, Optional[float], Optional[float]]],
+    threshold: float,
+) -> Tuple[str, List[str]]:
+    """Render the delta table; return (table text, regression warnings)."""
+    lines = [f"{'benchmark':60s} {'prev (s)':>12s} {'curr (s)':>12s} {'ratio':>8s}"]
+    warnings: List[str] = []
+    for name, prev, curr in rows:
+        if prev is not None and curr is not None:
+            ratio = curr / prev
+            marker = ""
+            if ratio > threshold:
+                marker = "  WARN"
+                warnings.append(
+                    f"{name}: mean wall time {prev:.6f}s -> {curr:.6f}s "
+                    f"({ratio:.2f}x, threshold {threshold:.2f}x)"
+                )
+            ratio_text = f"{ratio:7.2f}x"
+        elif curr is not None:
+            ratio_text = "    new "
+            marker = ""
+        else:
+            ratio_text = "removed "
+            marker = ""
+        lines.append(
+            f"{name[:60]:60s} {_format_seconds(prev)} "
+            f"{_format_seconds(curr)} {ratio_text}{marker}"
+        )
+    return "\n".join(lines), warnings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    0: comparison printed (regressions are warn-only).  2: unreadable input.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.bench_delta",
+        description="Warn-only wall-time delta between two pytest-benchmark "
+                    "JSON reports.")
+    parser.add_argument("previous", type=Path,
+                        help="BENCH_report.json from the previous run")
+    parser.add_argument("current", type=Path,
+                        help="BENCH_report.json from this run")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="current/previous mean ratio above which a row "
+                             f"is flagged (default: {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    try:
+        previous = load_means(args.previous)
+        current = load_means(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_delta: cannot read report: {exc}", file=sys.stderr)
+        return 2
+
+    table, warnings = format_table(compare(previous, current), args.threshold)
+    print(table)
+    if warnings:
+        print()
+        for warning in warnings:
+            # Plain WARN line for humans plus the GitHub annotation syntax so
+            # the regression shows up on the workflow summary page.
+            print(f"WARN {warning}")
+            print(f"::warning::benchmark regression: {warning}")
+    else:
+        print(f"\nno regressions beyond {args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

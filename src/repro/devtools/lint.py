@@ -146,13 +146,20 @@ class ModuleContext:
 
 @dataclass(frozen=True)
 class LintRule:
-    """A registered contract check: stable code, one-line summary, rationale."""
+    """A registered contract check: stable code, one-line summary, rationale.
+
+    ``check`` is the per-module rule function run by :func:`lint_sources`.
+    Whole-program rules (the RPL01x units checks, which need a cross-file
+    call graph) register with ``check=None``: they share this registry — one
+    code universe for ``--explain``, ``--list`` and suppression validation —
+    but are driven by their own pass (:mod:`repro.devtools.units`).
+    """
 
     code: str
     name: str
     summary: str
     explain: str
-    check: Callable[[ModuleContext], Iterable[Finding]]
+    check: Optional[Callable[[ModuleContext], Iterable[Finding]]] = None
 
 
 RULES: NameRegistry[LintRule] = NameRegistry("lint rule")
@@ -161,16 +168,30 @@ _CODE_PATTERN = re.compile(r"RPL\d{3}\Z")
 
 
 def register_lint_rule(code: str, name: str, summary: str, explain: str,
-                       check: Callable[[ModuleContext], Iterable[Finding]]) -> None:
+                       check: Optional[Callable[[ModuleContext],
+                                                Iterable[Finding]]] = None) -> None:
     """Register a rule under its stable ``RPLnnn`` code.
 
     Like every other registry in this repo, registration must happen at
-    module import time; the built-in rules below are the example.
+    module import time; the built-in rules below are the example.  Rules
+    without a per-module ``check`` are documentation-and-suppression entries
+    for a separate whole-program pass.
     """
     if not _CODE_PATTERN.match(code):
         raise ValueError(f"lint rule codes look like 'RPL001', got {code!r}")
     RULES.register(code, LintRule(code=code, name=name, summary=summary,
                                   explain=explain, check=check))
+
+
+def _ensure_all_rules() -> None:
+    """Import every module that registers rules into :data:`RULES`.
+
+    The units checker registers RPL011–RPL016 at import time; loading it
+    lazily (mirroring ``repro.schemes._ensure_builtins``) keeps suppression
+    validation and ``--explain`` aware of those codes without a circular
+    import at module load.
+    """
+    from . import units  # noqa: F401  (import-time registration side effect)
 
 
 def lint_rule_names() -> List[str]:
@@ -775,6 +796,7 @@ def lint_sources(sources: Dict[str, str]) -> List[Finding]:
     RPL004's cross-file constant table both key off it.  Raises
     ``SyntaxError`` if any source does not parse.
     """
+    _ensure_all_rules()
     contexts = [_parse_module(path, source)
                 for path, source in sorted(sources.items())]
     constants: Dict[Union[int, float], _ConstantDef] = {}
@@ -786,6 +808,8 @@ def lint_sources(sources: Dict[str, str]) -> List[Finding]:
     for ctx in contexts:
         ctx.constants = constants
         for _code, rule in RULES.items():
+            if rule.check is None:
+                continue  # whole-program rule, driven by repro.devtools.units
             for finding in rule.check(ctx):
                 if (finding.code != "RPL008"
                         and finding.code in ctx.suppressions.get(finding.line,
@@ -800,7 +824,12 @@ def _collect_files(paths: Sequence[str]) -> List[Path]:
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            # Skip compiled-bytecode dirs: a stale __pycache__/*.py (editor
+            # artifacts, extraction tools) must never enter the contract
+            # check, and walking the dirs at all is wasted I/O.
+            files.extend(sorted(
+                candidate for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts))
         elif path.is_file():
             files.append(path)
         else:
@@ -845,6 +874,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list every registered rule code and exit")
     args = parser.parse_args(argv)
+    _ensure_all_rules()
 
     if args.list:
         for code in RULES.names():

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..netsim import Simulator, incast, incast_burst
+from ..units import BITS_PER_BYTE, BPS_PER_MBPS
 from .runner import run_flows
 
 __all__ = ["run_incast"]
@@ -52,14 +53,14 @@ def run_incast(
     completed = sum(1 for fct in fcts if fct is not None)
     barrier_time: Optional[float] = max(finish_times) if completed == num_senders else None
     total_bytes = num_senders * block_size_bytes
-    goodput_bps = total_bytes * 8.0 / barrier_time if barrier_time else 0.0
+    goodput_bps = total_bytes * BITS_PER_BYTE / barrier_time if barrier_time else 0.0
     return {
         "scheme": scheme,
         "num_senders": num_senders,
         "block_size_bytes": block_size_bytes,
         "completed": completed,
         "barrier_time": barrier_time,
-        "goodput_mbps": goodput_bps / 1e6,
-        "optimal_mbps": bandwidth_bps / 1e6,
+        "goodput_mbps": goodput_bps / BPS_PER_MBPS,
+        "optimal_mbps": bandwidth_bps / BPS_PER_MBPS,
         "result": result,
     }

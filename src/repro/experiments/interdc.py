@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..netsim import DEFAULT_MSS, FlowSpec, Simulator, single_bottleneck
+from ..units import BPS_PER_MBPS, MS_PER_S
 from .runner import run_flows
 
 __all__ = ["InterDCPair", "PAPER_PAIRS", "run_pair", "run_table"]
@@ -74,7 +75,7 @@ def run_pair(
     )
     spec = FlowSpec(scheme=scheme, label=scheme)
     result = run_flows(sim, [topo.path], [spec], duration=duration, mss=mss)
-    return result.flow(0).goodput_bps(duration) / 1e6
+    return result.flow(0).goodput_bps(duration) / BPS_PER_MBPS
 
 
 def run_table(
@@ -86,7 +87,7 @@ def run_table(
     """Regenerate Table 1: one row per pair, one column per scheme (Mbps)."""
     rows = []
     for pair in (pairs if pairs is not None else PAPER_PAIRS):
-        row = {"pair": pair.name, "rtt_ms": pair.rtt * 1000.0,
+        row = {"pair": pair.name, "rtt_ms": pair.rtt * MS_PER_S,
                "paper": pair.paper_throughput_mbps}
         for scheme in schemes:
             row[scheme] = run_pair(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..netsim import FlowSpec, Simulator, bdp_bytes, single_bottleneck
+from ..units import BPS_PER_MBPS, MS_PER_S
 from .runner import run_flows
 
 __all__ = ["InternetPathConfig", "sample_paths", "run_path", "improvement_ratios",
@@ -54,7 +55,7 @@ class InternetPathConfig:
     def describe(self) -> str:
         """Short description used in benchmark printouts."""
         return (
-            f"{self.bandwidth_bps / 1e6:.0f} Mbps, {self.rtt * 1000:.0f} ms, "
+            f"{self.bandwidth_bps / BPS_PER_MBPS:.0f} Mbps, {self.rtt * MS_PER_S:.0f} ms, "
             f"loss {self.loss_rate * 100:.2f}%, buffer {self.buffer_fraction_of_bdp:.2f} BDP"
         )
 
@@ -98,7 +99,7 @@ def run_path(config: InternetPathConfig, scheme: str, duration: float = 15.0,
     )
     spec = FlowSpec(scheme=scheme, controller_kwargs=controller_kwargs, label=scheme)
     result = run_flows(sim, [topo.path], [spec], duration=duration)
-    return result.flow(0).goodput_bps(duration) / 1e6
+    return result.flow(0).goodput_bps(duration) / BPS_PER_MBPS
 
 
 def improvement_ratios(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..schemes import SchemeSpec, available_schemes
+from ..units import BPS_PER_MBPS, MS_PER_S
 from ..netsim import (
     DEFAULT_MSS,
     FlowSpec,
@@ -120,9 +121,9 @@ class ScenarioResult:
                 {
                     "label": flow.spec.label or flow.spec.scheme,
                     "scheme": flow.spec.scheme,
-                    "goodput_mbps": flow.goodput_bps(self.duration) / 1e6,
+                    "goodput_mbps": flow.goodput_bps(self.duration) / BPS_PER_MBPS,
                     "loss_rate": flow.loss_rate,
-                    "mean_rtt_ms": flow.mean_rtt * 1000.0,
+                    "mean_rtt_ms": flow.mean_rtt * MS_PER_S,
                     "fct": flow.flow_completion_time,
                 }
             )

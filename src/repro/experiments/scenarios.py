@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..core import LatencyUtility, LossResilientUtility
+from ..units import BITS_PER_BYTE, BPS_PER_MBPS, MS_PER_S
 from ..netsim import (
     CoDelQueue,
     FairQueue,
@@ -84,16 +85,16 @@ class ScenarioOutcome:
     @property
     def goodput_bps(self) -> float:
         """Goodput in bits per second."""
-        return self.goodput_mbps * 1e6
+        return self.goodput_mbps * BPS_PER_MBPS
 
 
 def _single_flow_outcome(scheme: str, result: ScenarioResult) -> ScenarioOutcome:
     flow = result.flow(0)
     return ScenarioOutcome(
         scheme=scheme,
-        goodput_mbps=flow.goodput_bps(result.duration) / 1e6,
+        goodput_mbps=flow.goodput_bps(result.duration) / BPS_PER_MBPS,
         loss_rate=flow.loss_rate,
-        mean_rtt_ms=flow.mean_rtt * 1000.0,
+        mean_rtt_ms=flow.mean_rtt * MS_PER_S,
         result=result,
     )
 
@@ -190,7 +191,7 @@ def rtt_unfairness_scenario(
     sim = Simulator(seed=seed)
     bottleneck = LinkConfig(
         bandwidth_bps=bandwidth_bps,
-        delay=short_rtt / 4.0,
+        delay_s=short_rtt / 4.0,
         buffer_bytes=bdp_bytes(bandwidth_bps, short_rtt),
         name="bottleneck",
     )
@@ -216,10 +217,10 @@ def rtt_unfairness_scenario(
     ratio = long_bytes / short_bytes if short_bytes > 0 else 0.0
     return {
         "scheme": scheme,
-        "long_rtt_ms": long_rtt * 1000.0,
+        "long_rtt_ms": long_rtt * MS_PER_S,
         "ratio": ratio,
-        "long_mbps": long_bytes * 8.0 / window / 1e6,
-        "short_mbps": short_bytes * 8.0 / window / 1e6,
+        "long_mbps": long_bytes * BITS_PER_BYTE / window / BPS_PER_MBPS,
+        "short_mbps": short_bytes * BITS_PER_BYTE / window / BPS_PER_MBPS,
         "result": result,
     }
 
@@ -248,12 +249,12 @@ def dynamic_network_scenario(
     spec = FlowSpec(scheme=scheme, controller_kwargs=controller_kwargs, label=scheme)
     result = run_flows(sim, [topo.path], [spec], duration=duration)
     flow = result.flow(0)
-    optimal_mbps = dynamics.mean_optimal_rate(0.0, duration) / 1e6
+    optimal_mbps = dynamics.mean_optimal_rate(0.0, duration) / BPS_PER_MBPS
     return {
         "scheme": scheme,
-        "goodput_mbps": flow.goodput_bps(duration) / 1e6,
+        "goodput_mbps": flow.goodput_bps(duration) / BPS_PER_MBPS,
         "optimal_mbps": optimal_mbps,
-        "fraction_of_optimal": (flow.goodput_bps(duration) / 1e6) / optimal_mbps
+        "fraction_of_optimal": (flow.goodput_bps(duration) / BPS_PER_MBPS) / optimal_mbps
         if optimal_mbps > 0 else 0.0,
         "rate_series": flow.stats.rate_series,
         "dynamics": dynamics,
@@ -303,12 +304,12 @@ def parking_lot_scenario(
                      label=f"cross-{i}")
         )
     result = run_flows(sim, topo.paths, specs, duration=duration)
-    long_mbps = result.by_label("long").goodput_bps(duration) / 1e6
+    long_mbps = result.by_label("long").goodput_bps(duration) / BPS_PER_MBPS
     cross_mbps = [
-        result.by_label(f"cross-{i}").goodput_bps(duration) / 1e6
+        result.by_label(f"cross-{i}").goodput_bps(duration) / BPS_PER_MBPS
         for i in range(num_hops)
     ]
-    fair_share_mbps = bandwidth_bps / 2.0 / 1e6
+    fair_share_mbps = bandwidth_bps / 2.0 / BPS_PER_MBPS
     return {
         "scheme": scheme,
         "cross_scheme": cross,
@@ -361,8 +362,8 @@ def variable_bandwidth_scenario(
     spec = FlowSpec(scheme=scheme, controller_kwargs=controller_kwargs, label=scheme)
     result = run_flows(sim, [topo.path], [spec], duration=duration)
     flow = result.flow(0)
-    optimal_mbps = dynamics.mean_optimal_rate(0.0, duration) / 1e6
-    goodput_mbps = flow.goodput_bps(duration) / 1e6
+    optimal_mbps = dynamics.mean_optimal_rate(0.0, duration) / BPS_PER_MBPS
+    goodput_mbps = flow.goodput_bps(duration) / BPS_PER_MBPS
     return {
         "scheme": scheme,
         "trace": trace,
@@ -396,7 +397,7 @@ def convergence_scenario(
     """
     sim = Simulator(seed=seed)
     bottleneck = LinkConfig(
-        bandwidth_bps=bandwidth_bps, delay=rtt / 2.0 - 0.001,
+        bandwidth_bps=bandwidth_bps, delay_s=rtt / 2.0 - 0.001,
         buffer_bytes=bdp_bytes(bandwidth_bps, rtt), name="bottleneck",
     )
     topo = dumbbell(sim, bottleneck, access_delays=[0.0005] * num_flows)
@@ -466,7 +467,7 @@ def friendliness_scenario(
     return {
         "selfish_kind": selfish_kind,
         "num_selfish": num_selfish,
-        "normal_tcp_mbps": normal.goodput_bps(duration) / 1e6,
+        "normal_tcp_mbps": normal.goodput_bps(duration) / BPS_PER_MBPS,
         "result": result,
     }
 
@@ -521,7 +522,7 @@ def tradeoff_scenario(
     """
     sim = Simulator(seed=seed)
     topo_cfg = LinkConfig(
-        bandwidth_bps=bandwidth_bps, delay=rtt / 2.0 - 0.001,
+        bandwidth_bps=bandwidth_bps, delay_s=rtt / 2.0 - 0.001,
         buffer_bytes=bdp_bytes(bandwidth_bps, rtt), name="bottleneck",
     )
     topo = dumbbell(sim, topo_cfg, access_delays=[0.0005, 0.0005])
@@ -535,7 +536,7 @@ def tradeoff_scenario(
     result = run_flows(sim, topo.paths, specs, duration=duration,
                        bin_width=bin_width)
     second = result.by_label("second")
-    fair_share_mbps = bandwidth_bps / 2.0 / 1e6
+    fair_share_mbps = bandwidth_bps / 2.0 / BPS_PER_MBPS
     series = second.throughput_series_mbps(first_flow_head_start, duration - bin_width)
     conv = convergence_time(series, fair_share_mbps, bin_width=bin_width,
                             tolerance=0.25, window=5.0)
@@ -630,14 +631,14 @@ def aqm_power_scenario(
     powers = []
     for flow in result.flows:
         goodput = flow.goodput_bps(duration)
-        delay = flow.mean_rtt
-        powers.append(goodput / delay if delay > 0 else 0.0)
+        delay_s = flow.mean_rtt
+        powers.append(goodput / delay_s if delay_s > 0 else 0.0)
     return {
         "scheme": scheme,
         "aqm": aqm,
         "mean_power": sum(powers) / len(powers) if powers else 0.0,
         "per_flow_power": powers,
-        "mean_rtt_ms": sum(f.mean_rtt for f in result.flows) / len(result.flows) * 1e3,
+        "mean_rtt_ms": sum(f.mean_rtt for f in result.flows) / len(result.flows) * MS_PER_S,
         "result": result,
     }
 

@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core import make_utility, policy_names, utility_names
 from ..registry import NameRegistry
+from ..units import BPS_PER_MBPS, BYTES_PER_KB, MS_PER_S
 from ..schemes import (
     SchemeSpec,
     available_schemes,
@@ -618,7 +619,7 @@ def _buffer_value(text: str) -> Optional[float]:
     """Parse a --buffer-kb operand: a number in kilobytes, or 'bdp'."""
     if text.lower() == "bdp":
         return None
-    return float(text) * 1e3
+    return float(text) * BYTES_PER_KB
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -638,8 +639,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--loss", nargs="+", type=float, default=[0.0],
                         help="random loss rates (axis 4)")
     parser.add_argument("--buffer-kb", nargs="+", type=_buffer_value, default=[None],
-                        metavar="KB|bdp",
-                        help="bottleneck buffers in KB, or 'bdp' (axis 5)")
+                        dest="buffer_bytes", metavar="KB|bdp",
+                        help="bottleneck buffers in KB, or 'bdp' (axis 5); "
+                             "parsed straight into bytes")
     parser.add_argument("--flows", nargs="+", type=int, default=None,
                         help="concurrent flow counts (axis 6); default 1, or "
                              "1 + hops for parking_lot so every hop carries "
@@ -743,10 +745,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         grid = SweepGrid(
             schemes=schemes,
-            bandwidths_bps=[mbps * 1e6 for mbps in args.bandwidth_mbps],
-            rtts=[ms / 1e3 for ms in args.rtt_ms],
+            bandwidths_bps=[mbps * BPS_PER_MBPS for mbps in args.bandwidth_mbps],
+            rtts=[ms / MS_PER_S for ms in args.rtt_ms],
             loss_rates=args.loss,
-            buffers_bytes=args.buffer_kb,
+            buffers_bytes=args.buffer_bytes,
             flow_counts=flows,
             utilities=utilities,
             duration=args.duration,
@@ -789,8 +791,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if "utility" in identity:
             label = f"{label}+{identity['utility']}"
         print(f"{identity['index']:>4}  {label:<22} "
-              f"{identity['bandwidth_bps'] / 1e6:>7.1f} {identity['rtt'] * 1e3:>7.1f} "
-              f"{identity['loss_rate']:>7.4f} {identity['buffer_bytes'] / 1e3:>8.1f} "
+              f"{identity['bandwidth_bps'] / BPS_PER_MBPS:>7.1f} {identity['rtt'] * MS_PER_S:>7.1f} "
+              f"{identity['loss_rate']:>7.4f} {identity['buffer_bytes'] / BYTES_PER_KB:>8.1f} "
               f"{identity['num_flows']:>5} {goodput:>8.2f}")
     print(f"{len(result.cells)} cells, {result.total_events:,} events in "
           f"{result.total_wall_time_s:.2f} s of simulation work "

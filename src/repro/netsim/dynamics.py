@@ -146,7 +146,7 @@ class RandomLinkDynamics(_OptimalRateHistory):
         if self.bandwidth_range_bps is not None:
             bandwidth = rng.uniform(*self.bandwidth_range_bps)
             self.link.set_bandwidth(bandwidth)
-        rtt = self.link.delay * 2.0
+        rtt = self.link.delay_s * 2.0
         if self.rtt_range is not None:
             rtt = rng.uniform(*self.rtt_range)
             self.link.set_delay(rtt / 2.0)
@@ -196,7 +196,7 @@ class ScheduledLinkDynamics(_OptimalRateHistory):
         if loss is not None:
             self.link.set_loss_rate(loss)
         self.history.append(
-            (self.sim.now, self.link.bandwidth_bps, self.link.delay * 2.0,
+            (self.sim.now, self.link.bandwidth_bps, self.link.delay_s * 2.0,
              self.link.loss_rate)
         )
 
@@ -246,7 +246,7 @@ class TraceLinkDynamics(_OptimalRateHistory):
 
     def _record(self) -> None:
         self.history.append(
-            (self.sim.now, self.link.bandwidth_bps, self.link.delay * 2.0,
+            (self.sim.now, self.link.bandwidth_bps, self.link.delay_s * 2.0,
              self.link.loss_rate)
         )
 

@@ -31,6 +31,7 @@ import math
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Optional
 
+from ..units import BITS_PER_BYTE
 from .engine import Event, Simulator
 from .packet import ACK_SIZE_BYTES, DEFAULT_MSS, Packet
 from .route import Path
@@ -430,7 +431,7 @@ class WindowedSender(SenderBase):
 
     def _pacing_rate_bps(self) -> float:
         srtt = self.rtt.srtt or self.path.base_rtt or 0.05
-        return self.controller.cwnd * self.mss * 8.0 / max(srtt, 1e-6)
+        return self.controller.cwnd * self.mss * BITS_PER_BYTE / max(srtt, 1e-6)
 
     def _fill_window(self) -> None:
         if self.completed:
@@ -450,7 +451,7 @@ class WindowedSender(SenderBase):
         if self.inflight_packets >= self._cwnd_packets() or not self.has_data_to_send():
             return
         rate = max(self._pacing_rate_bps(), 1e3)
-        interval = self.mss * 8.0 / rate
+        interval = self.mss * BITS_PER_BYTE / rate
         self._pacing_timer = self.sim.schedule(interval, self._paced_send)
 
     def _paced_send(self) -> None:
@@ -551,7 +552,7 @@ class RateBasedSender(SenderBase):
     def _schedule_tick(self) -> None:
         if self._pacing_timer is not None or self.completed:
             return
-        interval = self.mss * 8.0 / self.current_rate_bps()
+        interval = self.mss * BITS_PER_BYTE / self.current_rate_bps()
         self._pacing_timer = self.sim.schedule(interval, self._tick)
 
     def _tick(self) -> None:

@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
+from ..units import BITS_PER_BYTE, BYTES_PER_KB
+
 __all__ = ["FlowSpec", "bulk_flows", "incast_burst", "poisson_short_flows"]
 
 
@@ -45,7 +47,7 @@ class FlowSpec:
 
     def describe(self) -> str:
         """Short human-readable description used in experiment printouts."""
-        size = "inf" if self.size_bytes is None else f"{self.size_bytes / 1e3:.0f}KB"
+        size = "inf" if self.size_bytes is None else f"{self.size_bytes / BYTES_PER_KB:.0f}KB"
         label = self.label or self.scheme
         return f"{label} (start={self.start_time:.2f}s, size={size})"
 
@@ -123,8 +125,9 @@ def poisson_short_flows(
     if not 0.0 < load < 1.0:
         raise ValueError("load must be in (0, 1)")
     rng = rng or random.Random(0)
-    flow_bits = size_bytes * 8.0
-    arrival_rate = load * link_bandwidth_bps / flow_bits  # flows per second
+    arrival_rate = (
+        load * link_bandwidth_bps / (size_bytes * BITS_PER_BYTE)
+    )  # flows per second
     flows = []
     t = 0.0
     index = 0

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..units import BITS_PER_BYTE, BPS_PER_MBPS, MS_PER_S, Bps, Seconds
 from .engine import Event, Simulator
 from .packet import Packet
 from .queues import DropTailQueue, QueueDiscipline
@@ -61,7 +62,7 @@ class Link:
         The owning simulator.
     bandwidth_bps:
         Serialization rate in bits per second.
-    delay:
+    delay_s:
         One-way propagation delay in seconds.
     queue:
         Queue discipline holding packets while the link is busy.  Defaults to a
@@ -80,21 +81,21 @@ class Link:
     def __init__(
         self,
         sim: Simulator,
-        bandwidth_bps: float,
-        delay: float,
+        bandwidth_bps: Bps,
+        delay_s: Seconds,
         queue: Optional[QueueDiscipline] = None,
         loss_rate: float = 0.0,
         name: str = "",
     ):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
-        if delay < 0:
-            raise ValueError("delay must be non-negative")
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
         self.bandwidth_bps = float(bandwidth_bps)
-        self.delay = float(delay)
+        self.delay_s = float(delay_s)
         self.loss_rate = float(loss_rate)
         self.queue = queue if queue is not None else DropTailQueue(1_000_000)
         self.queue.on_drop = self._record_queue_drop
@@ -115,17 +116,17 @@ class Link:
     # ------------------------------------------------------------------ #
     # Parameter mutation (Figure 11 dynamics, Table 1 rate limiting)
     # ------------------------------------------------------------------ #
-    def set_bandwidth(self, bandwidth_bps: float) -> None:
+    def set_bandwidth(self, bandwidth_bps: Bps) -> None:
         """Change the serialization rate; takes effect for the next packet."""
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
         self.bandwidth_bps = float(bandwidth_bps)
 
-    def set_delay(self, delay: float) -> None:
+    def set_delay(self, delay_s: Seconds) -> None:
         """Change the propagation delay; packets already in flight are unaffected."""
-        if delay < 0:
-            raise ValueError("delay must be non-negative")
-        self.delay = float(delay)
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        self.delay_s = float(delay_s)
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Change the Bernoulli random-loss probability."""
@@ -167,7 +168,7 @@ class Link:
         packet = self.queue.dequeue(now)
         if packet is None:
             return
-        serialization = packet.size_bytes * 8.0 / self.bandwidth_bps
+        serialization = packet.size_bytes * BITS_PER_BYTE / self.bandwidth_bps
         self.stats.busy_time += serialization
         self._busy_until = now + serialization
         self.stats.packets_sent += 1
@@ -182,7 +183,7 @@ class Link:
             if self.on_loss is not None:
                 self.on_loss(packet)
         else:
-            self.sim.schedule(serialization + self.delay, self._deliver, packet)
+            self.sim.schedule(serialization + self.delay_s, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         route = packet.route
@@ -198,13 +199,13 @@ class Link:
         """Whether the link is currently serializing a packet."""
         return self.sim.now < self._busy_until
 
-    def queueing_delay_estimate(self) -> float:
+    def queueing_delay_estimate(self) -> Seconds:
         """Current queue drain time at the present bandwidth (seconds)."""
-        return self.queue.bytes_queued * 8.0 / self.bandwidth_bps
+        return self.queue.bytes_queued * BITS_PER_BYTE / self.bandwidth_bps
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or "link"
         return (
-            f"Link({label}, {self.bandwidth_bps / 1e6:.2f} Mbps, "
-            f"{self.delay * 1000:.1f} ms, loss={self.loss_rate:.4f})"
+            f"Link({label}, {self.bandwidth_bps / BPS_PER_MBPS:.2f} Mbps, "
+            f"{self.delay_s * MS_PER_S:.1f} ms, loss={self.loss_rate:.4f})"
         )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Optional
 
+from ..units import Bytes, Seconds
 from .packet import DEFAULT_MSS, Packet
 
 __all__ = [
@@ -107,7 +108,7 @@ class DropTailQueue(QueueDiscipline):
     single packet (1.5 KB) up to one bandwidth-delay product or 1 MB.
     """
 
-    def __init__(self, capacity_bytes: float):
+    def __init__(self, capacity_bytes: Bytes):
         super().__init__()
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
@@ -159,9 +160,9 @@ class CoDelQueue(QueueDiscipline):
 
     def __init__(
         self,
-        capacity_bytes: float = 10_000_000.0,
-        target: float = 0.005,
-        interval: float = 0.100,
+        capacity_bytes: Bytes = 10_000_000.0,
+        target: Seconds = 0.005,
+        interval: Seconds = 0.100,
     ):
         super().__init__()
         self.capacity_bytes = capacity_bytes

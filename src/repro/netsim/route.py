@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ..units import BPS_PER_MBPS, MS_PER_S, Seconds
 from .link import Link
 from .packet import Packet
 
@@ -47,9 +48,9 @@ class Route:
             self.destination(packet)
 
     @property
-    def propagation_delay(self) -> float:
+    def propagation_delay(self) -> Seconds:
         """Sum of one-way propagation delays along the route (seconds)."""
-        return sum(link.delay for link in self.links)
+        return sum(link.delay_s for link in self.links)
 
     @property
     def min_bandwidth_bps(self) -> float:
@@ -60,7 +61,7 @@ class Route:
         return len(self.links)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Route({len(self.links)} hops, {self.propagation_delay * 1000:.1f} ms)"
+        return f"Route({len(self.links)} hops, {self.propagation_delay * MS_PER_S:.1f} ms)"
 
 
 class Path:
@@ -87,10 +88,10 @@ class Path:
         self.reverse_route = Route(self.reverse_links, reverse_destination)
 
     @property
-    def base_rtt(self) -> float:
+    def base_rtt(self) -> Seconds:
         """Two-way propagation delay, excluding queueing (seconds)."""
-        forward = sum(link.delay for link in self.forward_links)
-        reverse = sum(link.delay for link in self.reverse_links)
+        forward = sum(link.delay_s for link in self.forward_links)
+        reverse = sum(link.delay_s for link in self.reverse_links)
         return forward + reverse
 
     @property
@@ -100,6 +101,6 @@ class Path:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Path(base_rtt={self.base_rtt * 1000:.1f} ms, "
-            f"bottleneck={self.bottleneck_bandwidth_bps / 1e6:.2f} Mbps)"
+            f"Path(base_rtt={self.base_rtt * MS_PER_S:.1f} ms, "
+            f"bottleneck={self.bottleneck_bandwidth_bps / BPS_PER_MBPS:.2f} Mbps)"
         )

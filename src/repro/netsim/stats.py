@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Tuple
 
+from ..units import BITS_PER_BYTE, BPS_PER_MBPS, MS_PER_S, Bps, Seconds
+
 __all__ = ["BinnedSeries", "SequenceTracker", "FlowStats", "RTTEstimator"]
 
 
@@ -203,17 +205,17 @@ class FlowStats:
         """Sender-observed loss fraction (lost / sent)."""
         return self.packets_lost / self.packets_sent if self.packets_sent else 0.0
 
-    def throughput_bps(self, duration: float) -> float:
+    def throughput_bps(self, duration: Seconds) -> Bps:
         """Sender-side throughput over ``duration`` seconds (bits per second)."""
         if duration <= 0:
             return 0.0
-        return self.bytes_sent * 8.0 / duration
+        return self.bytes_sent * BITS_PER_BYTE / duration
 
-    def goodput_bps(self, duration: float) -> float:
+    def goodput_bps(self, duration: Seconds) -> Bps:
         """Receiver-side unique delivered bits per second over ``duration``."""
         if duration <= 0:
             return 0.0
-        return self.unique_bytes_delivered * 8.0 / duration
+        return self.unique_bytes_delivered * BITS_PER_BYTE / duration
 
     def throughput_series_mbps(
         self, start: float = 0.0, end: Optional[float] = None
@@ -221,7 +223,8 @@ class FlowStats:
         """Per-bin receiver goodput (Mbps) between ``start`` and ``end``."""
         width = self.delivered_bins.bin_width
         return [
-            v * 8.0 / width / 1e6 for v in self.delivered_bins.bin_values(start, end)
+            v * BITS_PER_BYTE / width / BPS_PER_MBPS
+            for v in self.delivered_bins.bin_values(start, end)
         ]
 
     @property
@@ -235,10 +238,10 @@ class FlowStats:
         """A plain-dict summary convenient for printing experiment tables."""
         return {
             "flow_id": self.flow_id,
-            "throughput_mbps": self.throughput_bps(duration) / 1e6,
-            "goodput_mbps": self.goodput_bps(duration) / 1e6,
+            "throughput_mbps": self.throughput_bps(duration) / BPS_PER_MBPS,
+            "goodput_mbps": self.goodput_bps(duration) / BPS_PER_MBPS,
             "loss_rate": self.loss_rate,
-            "mean_rtt_ms": self.mean_rtt * 1000.0,
+            "mean_rtt_ms": self.mean_rtt * MS_PER_S,
             "retransmissions": self.retransmissions,
             "fct": self.flow_completion_time,
         }

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..units import BITS_PER_BYTE, Bps, Bytes, Seconds
 from .engine import Simulator
 from .link import Link
 from .queues import DropTailQueue, QueueDiscipline
@@ -36,19 +37,19 @@ __all__ = [
 ]
 
 
-def bdp_bytes(bandwidth_bps: float, rtt: float) -> float:
+def bdp_bytes(bandwidth_bps: Bps, rtt: Seconds) -> Bytes:
     """Bandwidth-delay product in bytes."""
-    return bandwidth_bps * rtt / 8.0
+    return bandwidth_bps * rtt / BITS_PER_BYTE
 
 
 @dataclass
 class LinkConfig:
     """Parameters for one unidirectional link."""
 
-    bandwidth_bps: float
-    delay: float
+    bandwidth_bps: Bps
+    delay_s: Seconds
     loss_rate: float = 0.0
-    buffer_bytes: float = 1_000_000.0
+    buffer_bytes: Bytes = 1_000_000.0
     queue_factory: Optional[Callable[[], QueueDiscipline]] = None
     name: str = ""
 
@@ -61,7 +62,7 @@ class LinkConfig:
         return Link(
             sim,
             bandwidth_bps=self.bandwidth_bps,
-            delay=self.delay,
+            delay_s=self.delay_s,
             queue=queue,
             loss_rate=self.loss_rate,
             name=self.name,
@@ -97,7 +98,7 @@ def single_bottleneck(
     """
     forward_cfg = LinkConfig(
         bandwidth_bps=bandwidth_bps,
-        delay=rtt / 2.0,
+        delay_s=rtt / 2.0,
         loss_rate=loss_rate,
         buffer_bytes=buffer_bytes,
         queue_factory=queue_factory,
@@ -105,7 +106,7 @@ def single_bottleneck(
     )
     reverse_cfg = LinkConfig(
         bandwidth_bps=ack_bandwidth_bps or bandwidth_bps,
-        delay=rtt / 2.0,
+        delay_s=rtt / 2.0,
         loss_rate=reverse_loss_rate if reverse_loss_rate is not None else 0.0,
         buffer_bytes=max(buffer_bytes, 3_000_000.0),
         name="bottleneck-rev",
@@ -139,13 +140,13 @@ def dumbbell(
     Each flow ``i`` traverses its own access link (propagation delay
     ``access_delays[i]``, non-bottleneck bandwidth) followed by the shared
     bottleneck; ACKs return over a mirrored reverse topology.  Per-flow base
-    RTT is ``2 * (access_delays[i] + bottleneck.delay)``.
+    RTT is ``2 * (access_delays[i] + bottleneck.delay_s)``.
     """
     access_bw = access_bandwidth_bps or bottleneck.bandwidth_bps * 10.0
     bottleneck_forward = bottleneck.build(sim)
     reverse_cfg = LinkConfig(
         bandwidth_bps=bottleneck.bandwidth_bps,
-        delay=bottleneck.delay,
+        delay_s=bottleneck.delay_s,
         buffer_bytes=max(bottleneck.buffer_bytes, 3_000_000.0),
         name="bottleneck-rev",
     )
@@ -153,18 +154,18 @@ def dumbbell(
     topo = Dumbbell(
         bottleneck_forward=bottleneck_forward, bottleneck_reverse=bottleneck_reverse
     )
-    for i, delay in enumerate(access_delays):
+    for i, delay_s in enumerate(access_delays):
         fwd = Link(
             sim,
             bandwidth_bps=access_bw,
-            delay=delay,
+            delay_s=delay_s,
             queue=DropTailQueue(access_buffer_bytes),
             name=f"access-fwd-{i}",
         )
         rev = Link(
             sim,
             bandwidth_bps=access_bw,
-            delay=delay,
+            delay_s=delay_s,
             queue=DropTailQueue(access_buffer_bytes),
             name=f"access-rev-{i}",
         )
@@ -201,7 +202,7 @@ def incast(
     shared = Link(
         sim,
         bandwidth_bps=bandwidth_bps,
-        delay=rtt / 4.0,
+        delay_s=rtt / 4.0,
         queue=DropTailQueue(buffer_bytes),
         name="incast-shared",
     )
@@ -210,14 +211,14 @@ def incast(
         access = Link(
             sim,
             bandwidth_bps=sender_bw,
-            delay=rtt / 4.0,
+            delay_s=rtt / 4.0,
             queue=DropTailQueue(1_000_000.0),
             name=f"incast-access-{i}",
         )
         reverse = Link(
             sim,
             bandwidth_bps=sender_bw,
-            delay=rtt / 2.0,
+            delay_s=rtt / 2.0,
             queue=DropTailQueue(1_000_000.0),
             name=f"incast-rev-{i}",
         )
@@ -280,7 +281,7 @@ def parking_lot(
     for i in range(num_hops):
         forward_cfg = LinkConfig(
             bandwidth_bps=bandwidth_bps,
-            delay=hop_delay,
+            delay_s=hop_delay,
             loss_rate=loss_rate,
             buffer_bytes=buffer_bytes,
             queue_factory=queue_factory,
@@ -293,16 +294,16 @@ def parking_lot(
             Link(
                 sim,
                 bandwidth_bps=bandwidth_bps,
-                delay=hop_delay,
+                delay_s=hop_delay,
                 queue=DropTailQueue(max(buffer_bytes, 3_000_000.0)),
                 name=f"hop-rev-{i}",
             )
         )
 
     def access_pair(label: str) -> Tuple[Link, Link]:
-        fwd = Link(sim, bandwidth_bps=access_bw, delay=access_delay,
+        fwd = Link(sim, bandwidth_bps=access_bw, delay_s=access_delay,
                    queue=DropTailQueue(3_000_000.0), name=f"access-fwd-{label}")
-        rev = Link(sim, bandwidth_bps=access_bw, delay=access_delay,
+        rev = Link(sim, bandwidth_bps=access_bw, delay_s=access_delay,
                    queue=DropTailQueue(3_000_000.0), name=f"access-rev-{label}")
         topo.access_forward.append(fwd)
         topo.access_reverse.append(rev)

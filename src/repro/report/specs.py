@@ -44,6 +44,7 @@ from ..experiments.scenarios import (
 )
 from ..experiments.sweep import SweepGrid
 from ..netsim import DEFAULT_MSS, SYNTHETIC_TRACES
+from ..units import BPS_PER_GBPS, BPS_PER_MBPS, BYTES_PER_KB, MS_PER_S
 from .spec import (
     Claim,
     GridRun,
@@ -230,7 +231,7 @@ def _table1_rows(result: ResultSet) -> List[Dict[str, Any]]:
     """One row per site pair with every scheme's goodput."""
     rows = []
     for pair in _T1_PAIRS:
-        row: Dict[str, Any] = {"pair": pair.name, "rtt_ms": pair.rtt * 1e3}
+        row: Dict[str, Any] = {"pair": pair.name, "rtt_ms": pair.rtt * MS_PER_S}
         for scheme in _T1_SCHEMES:
             row[scheme] = _metrics(result, pair=pair.name,
                                    scheme=scheme)["goodput_mbps"]
@@ -274,8 +275,8 @@ register_report_spec(ReportSpec(
             "PCC uses most of the reserved bandwidth (paper: ~780 of "
             "800 Mbps)",
             lambda rows, result: (
-                (v := _table1_means(rows)["pcc"]) > 0.6 * _T1_BANDWIDTH / 1e6,
-                f"mean pcc {v:.1f} Mbps of a {_T1_BANDWIDTH / 1e6:.0f} Mbps "
+                (v := _table1_means(rows)["pcc"]) > 0.6 * _T1_BANDWIDTH / BPS_PER_MBPS,
+                f"mean pcc {v:.1f} Mbps of a {_T1_BANDWIDTH / BPS_PER_MBPS:.0f} Mbps "
                 f"reservation (floor 60%)"),
             deviation=f"{_SCALING} (table1): 800 Mbps reservations scaled to "
                       "100 Mbps, 8 s transfers",
@@ -297,7 +298,7 @@ def _fig6_rows(result: ResultSet) -> List[Dict[str, Any]]:
     """One row per buffer size with every scheme's goodput."""
     rows = []
     for buffer_bytes in _F6_BUFFERS:
-        row: Dict[str, Any] = {"buffer_kb": buffer_bytes / 1e3}
+        row: Dict[str, Any] = {"buffer_kb": buffer_bytes / BYTES_PER_KB}
         for scheme in _F6_SCHEMES:
             row[scheme] = result.goodput_mbps(scheme=scheme,
                                               buffer_bytes=buffer_bytes)
@@ -466,7 +467,7 @@ def _fig8_rows(result: ResultSet) -> List[Dict[str, Any]]:
     """One row per long RTT with every scheme's long/short ratio."""
     rows = []
     for long_rtt in _F8_LONG_RTTS:
-        row: Dict[str, Any] = {"long_rtt_ms": long_rtt * 1e3}
+        row: Dict[str, Any] = {"long_rtt_ms": long_rtt * MS_PER_S}
         for scheme in _F8_SCHEMES:
             row[scheme] = _metrics(result, scheme=scheme,
                                    long_rtt=long_rtt)["ratio"]
@@ -520,7 +521,7 @@ def _fig9_rows(result: ResultSet) -> List[Dict[str, Any]]:
     """One row per buffer size with every scheme's goodput."""
     rows = []
     for buffer_bytes in _F9_BUFFERS:
-        row: Dict[str, Any] = {"buffer_kb": buffer_bytes / 1e3}
+        row: Dict[str, Any] = {"buffer_kb": buffer_bytes / BYTES_PER_KB}
         for scheme in _F9_SCHEMES:
             row[scheme] = result.goodput_mbps(scheme=scheme,
                                               buffer_bytes=buffer_bytes)
@@ -616,7 +617,7 @@ def _fig10_rows(result: ResultSet) -> List[Dict[str, Any]]:
             cubic = _metrics(result, scheme="cubic", senders=senders,
                              block_bytes=block)
             rows.append({
-                "block_kb": block / 1e3, "senders": senders,
+                "block_kb": block / BYTES_PER_KB, "senders": senders,
                 "pcc": pcc["goodput_mbps"], "cubic": cubic["goodput_mbps"],
                 "pcc_completed": pcc["completed"],
             })
@@ -806,10 +807,10 @@ register_report_spec(ReportSpec(
             "Every PCC flow makes progress and the link stays well utilised",
             lambda rows, result: (
                 (r := _row(rows, "scheme", "pcc"))["min_flow_mean"]
-                > 0.1 * (_F12_BANDWIDTH / 1e6 / _F12_FLOWS)
-                and r["sum_flow_means"] > 0.6 * _F12_BANDWIDTH / 1e6,
+                > 0.1 * (_F12_BANDWIDTH / BPS_PER_MBPS / _F12_FLOWS)
+                and r["sum_flow_means"] > 0.6 * _F12_BANDWIDTH / BPS_PER_MBPS,
                 f"min flow {r['min_flow_mean']:.2f} Mbps, total "
-                f"{r['sum_flow_means']:.1f} of {_F12_BANDWIDTH / 1e6:.0f}"),
+                f"{r['sum_flow_means']:.1f} of {_F12_BANDWIDTH / BPS_PER_MBPS:.0f}"),
             deviation=f"{_SCALING} (fig12): full convergence to equal shares "
                       "is slower here than in the paper (low-rate decision "
                       "noise; see the EXPERIMENTS.md deviations)",
@@ -1200,7 +1201,7 @@ def _fig17_rows(result: ResultSet) -> List[Dict[str, Any]]:
             metrics = _metrics(result, scheme=scheme, aqm=aqm)
             rows.append({
                 "configuration": f"{scheme}+{aqm}+FQ",
-                "power_gbps_per_s": metrics["mean_power"] / 1e9,
+                "power_gbps_per_s": metrics["mean_power"] / BPS_PER_GBPS,
                 "mean_rtt_ms": metrics["mean_rtt_ms"],
             })
     return rows
@@ -1241,8 +1242,8 @@ register_report_spec(ReportSpec(
             lambda rows, result: (
                 (p := _fig17_powers(result))[("cubic", "codel")]
                 > 2.0 * p[("cubic", "bufferbloat")],
-                f"cubic power: codel {p[('cubic', 'codel')] / 1e9:.2f} vs "
-                f"bufferbloat {p[('cubic', 'bufferbloat')] / 1e9:.2f} "
+                f"cubic power: codel {p[('cubic', 'codel')] / BPS_PER_GBPS:.2f} vs "
+                f"bufferbloat {p[('cubic', 'bufferbloat')] / BPS_PER_GBPS:.2f} "
                 f"Gbit/s/s (floor 2x)"),
             deviation=f"{_SCALING} (fig17): 2x floor instead of the paper's "
                       "10.5x",
@@ -1261,8 +1262,8 @@ register_report_spec(ReportSpec(
             lambda rows, result: (
                 (p := _fig17_powers(result))[("pcc", "bufferbloat")]
                 > 0.4 * p[("cubic", "codel")],
-                f"pcc+bufferbloat {p[('pcc', 'bufferbloat')] / 1e9:.2f} vs "
-                f"cubic+codel {p[('cubic', 'codel')] / 1e9:.2f} Gbit/s/s "
+                f"pcc+bufferbloat {p[('pcc', 'bufferbloat')] / BPS_PER_GBPS:.2f} vs "
+                f"cubic+codel {p[('cubic', 'codel')] / BPS_PER_GBPS:.2f} Gbit/s/s "
                 f"(floor 0.4x)"),
             deviation=f"{_SCALING} (fig17): 0.4x floor instead of the "
                       "paper's 1.55x",
@@ -1306,7 +1307,7 @@ def _sec442_rows(result: ResultSet) -> List[Dict[str, Any]]:
     for loss in _S442_LOSSES:
         rows.append({
             "loss": loss,
-            "achievable_mbps": _S442_BANDWIDTH / 1e6 * (1.0 - loss),
+            "achievable_mbps": _S442_BANDWIDTH / BPS_PER_MBPS * (1.0 - loss),
             "pcc_mbps": _metrics(result, scheme="pcc",
                                  loss=loss)["goodput_mbps"],
             "cubic_mbps": _metrics(result, scheme="cubic",
@@ -1438,13 +1439,13 @@ register_report_spec(ReportSpec(
             lambda rows, result: (
                 (lr := _sec44_value(rows, "lossy", "loss_resilient",
                                     "goodput_mbps"))
-                > 0.8 * (_S44_BANDWIDTH / 1e6 * (1 - _S44_LOSS))
+                > 0.8 * (_S44_BANDWIDTH / BPS_PER_MBPS * (1 - _S44_LOSS))
                 and lr > 5.0 * _sec44_value(rows, "lossy", "safe",
                                             "goodput_mbps"),
                 f"lossy: loss_resilient {lr:.1f} vs safe "
                 f"{_sec44_value(rows, 'lossy', 'safe', 'goodput_mbps'):.2f} "
                 f"Mbps (achievable "
-                f"{_S44_BANDWIDTH / 1e6 * (1 - _S44_LOSS):.1f})"),
+                f"{_S44_BANDWIDTH / BPS_PER_MBPS * (1 - _S44_LOSS):.1f})"),
         ),
         Claim(
             "latency-controls-queueing",
@@ -1515,7 +1516,7 @@ register_report_spec(ReportSpec(
             "The multi-hop chain stays busy: the busiest hop carries most "
             "of its capacity",
             lambda rows, result: (
-                all(row["busiest_hop_mbps"] > 0.5 * _PL_BANDWIDTH / 1e6
+                all(row["busiest_hop_mbps"] > 0.5 * _PL_BANDWIDTH / BPS_PER_MBPS
                     for row in rows),
                 "; ".join(f"{row['scheme']}: busiest hop "
                           f"{row['busiest_hop_mbps']:.1f} Mbps"
@@ -1580,7 +1581,7 @@ register_report_spec(ReportSpec(
             "Every scheme extracts a usable fraction of the time-varying "
             "capacity on every bundled trace",
             lambda rows, result: (
-                all(row["goodput_mbps"] > 0.1 * _VB_BANDWIDTH / 1e6
+                all(row["goodput_mbps"] > 0.1 * _VB_BANDWIDTH / BPS_PER_MBPS
                     for row in rows),
                 "; ".join(f"{row['trace']}/{row['scheme']}: "
                           f"{row['goodput_mbps']:.1f} Mbps"

@@ -1,0 +1,73 @@
+"""Tests for the warn-only benchmark wall-time delta tool."""
+
+import json
+from pathlib import Path
+
+from repro.devtools.bench_delta import compare, format_table, load_means, main
+
+
+def write_report(path: Path, means: dict) -> Path:
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }))
+    return path
+
+
+class TestCompare:
+    def test_union_of_both_reports(self):
+        rows = compare({"a": 1.0, "gone": 2.0}, {"a": 1.1, "new": 0.5})
+        assert rows == [("a", 1.0, 1.1), ("gone", 2.0, None), ("new", None, 0.5)]
+
+    def test_regression_beyond_threshold_warns(self):
+        table, warnings = format_table([("slow", 0.1, 0.2)], threshold=1.2)
+        assert "WARN" in table
+        assert len(warnings) == 1
+        assert "2.00x" in warnings[0]
+
+    def test_within_threshold_is_quiet(self):
+        table, warnings = format_table([("ok", 0.1, 0.11)], threshold=1.2)
+        assert warnings == []
+        assert "WARN" not in table
+
+    def test_added_and_removed_rows_never_warn(self):
+        _, warnings = format_table(
+            [("new", None, 9.9), ("gone", 9.9, None)], threshold=1.2)
+        assert warnings == []
+
+
+class TestCli:
+    def test_regressions_are_warn_only(self, tmp_path, capsys):
+        prev = write_report(tmp_path / "prev.json", {"b": 0.1})
+        curr = write_report(tmp_path / "curr.json", {"b": 0.5})
+        assert main([str(prev), str(curr)]) == 0
+        out = capsys.readouterr().out
+        assert "WARN" in out
+        assert "::warning::" in out
+
+    def test_clean_comparison_reports_no_regressions(self, tmp_path, capsys):
+        prev = write_report(tmp_path / "prev.json", {"b": 0.1})
+        curr = write_report(tmp_path / "curr.json", {"b": 0.1})
+        assert main([str(prev), str(curr)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_unreadable_input_is_a_usage_error(self, tmp_path, capsys):
+        curr = write_report(tmp_path / "curr.json", {"b": 0.1})
+        assert main([str(tmp_path / "missing.json"), str(curr)]) == 2
+
+    def test_malformed_json_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        curr = write_report(tmp_path / "curr.json", {"b": 0.1})
+        assert main([str(bad), str(curr)]) == 2
+
+    def test_ignores_benchmarks_without_mean(self, tmp_path):
+        report = tmp_path / "odd.json"
+        report.write_text(json.dumps({"benchmarks": [
+            {"fullname": "x", "stats": {}},
+            {"stats": {"mean": 1.0}},
+            {"fullname": "ok", "stats": {"mean": 0.25}},
+        ]}))
+        assert load_means(report) == {"ok": 0.25}

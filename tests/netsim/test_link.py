@@ -27,14 +27,14 @@ def send_over(sim, links, packets):
 class TestLinkTiming:
     def test_single_packet_delay_is_serialization_plus_propagation(self):
         sim = Simulator()
-        link = Link(sim, bandwidth_bps=12_000, delay=0.1)  # 1500B -> 1s serialization
+        link = Link(sim, bandwidth_bps=12_000, delay_s=0.1)  # 1500B -> 1s serialization
         arrivals = send_over(sim, [link], [make_packet()])
         assert len(arrivals) == 1
         assert arrivals[0][1] == pytest.approx(1.0 + 0.1)
 
     def test_back_to_back_packets_spaced_by_serialization_time(self):
         sim = Simulator()
-        link = Link(sim, bandwidth_bps=12_000_000, delay=0.01)  # 1ms per 1500B
+        link = Link(sim, bandwidth_bps=12_000_000, delay_s=0.01)  # 1ms per 1500B
         arrivals = send_over(sim, [link], [make_packet(i) for i in range(3)])
         times = [t for _, t in arrivals]
         assert times[1] - times[0] == pytest.approx(0.001)
@@ -42,15 +42,15 @@ class TestLinkTiming:
 
     def test_multihop_delay_accumulates(self):
         sim = Simulator()
-        a = Link(sim, bandwidth_bps=12_000_000, delay=0.010)
-        b = Link(sim, bandwidth_bps=12_000_000, delay=0.020)
+        a = Link(sim, bandwidth_bps=12_000_000, delay_s=0.010)
+        b = Link(sim, bandwidth_bps=12_000_000, delay_s=0.020)
         arrivals = send_over(sim, [a, b], [make_packet()])
         assert arrivals[0][1] == pytest.approx(0.001 + 0.010 + 0.001 + 0.020)
 
     def test_throughput_limited_by_bottleneck(self):
         sim = Simulator()
-        fast = Link(sim, bandwidth_bps=100e6, delay=0.001)
-        slow = Link(sim, bandwidth_bps=10e6, delay=0.001,
+        fast = Link(sim, bandwidth_bps=100e6, delay_s=0.001)
+        slow = Link(sim, bandwidth_bps=10e6, delay_s=0.001,
                     queue=DropTailQueue(10_000_000))
         count = 100
         arrivals = send_over(sim, [fast, slow], [make_packet(i) for i in range(count)])
@@ -63,14 +63,14 @@ class TestLinkTiming:
 class TestLinkLossAndDrops:
     def test_zero_loss_delivers_everything(self):
         sim = Simulator(seed=5)
-        link = Link(sim, bandwidth_bps=100e6, delay=0.001,
+        link = Link(sim, bandwidth_bps=100e6, delay_s=0.001,
                     queue=DropTailQueue(10_000_000))
         arrivals = send_over(sim, [link], [make_packet(i) for i in range(500)])
         assert len(arrivals) == 500
 
     def test_random_loss_rate_statistically_close(self):
         sim = Simulator(seed=11)
-        link = Link(sim, bandwidth_bps=1e9, delay=0.0, loss_rate=0.2,
+        link = Link(sim, bandwidth_bps=1e9, delay_s=0.0, loss_rate=0.2,
                     queue=DropTailQueue(100_000_000))
         n = 5000
         arrivals = send_over(sim, [link], [make_packet(i) for i in range(n)])
@@ -81,7 +81,7 @@ class TestLinkLossAndDrops:
     def test_queue_overflow_counted_and_reported(self):
         sim = Simulator()
         losses = []
-        link = Link(sim, bandwidth_bps=12_000, delay=0.0,
+        link = Link(sim, bandwidth_bps=12_000, delay_s=0.0,
                     queue=DropTailQueue(3000))
         link.on_loss = losses.append
         arrivals = send_over(sim, [link], [make_packet(i) for i in range(10)])
@@ -93,17 +93,17 @@ class TestLinkLossAndDrops:
     def test_invalid_parameters_rejected(self):
         sim = Simulator()
         with pytest.raises(ValueError):
-            Link(sim, bandwidth_bps=0, delay=0.01)
+            Link(sim, bandwidth_bps=0, delay_s=0.01)
         with pytest.raises(ValueError):
-            Link(sim, bandwidth_bps=1e6, delay=-1)
+            Link(sim, bandwidth_bps=1e6, delay_s=-1)
         with pytest.raises(ValueError):
-            Link(sim, bandwidth_bps=1e6, delay=0.0, loss_rate=1.5)
+            Link(sim, bandwidth_bps=1e6, delay_s=0.0, loss_rate=1.5)
 
 
 class TestLinkMutation:
     def test_bandwidth_change_affects_subsequent_packets(self):
         sim = Simulator()
-        link = Link(sim, bandwidth_bps=12_000, delay=0.0)
+        link = Link(sim, bandwidth_bps=12_000, delay_s=0.0)
         arrivals = []
         route = Route([link], lambda p: arrivals.append(sim.now))
         route.send(make_packet(0))
@@ -116,7 +116,7 @@ class TestLinkMutation:
 
     def test_loss_rate_change(self):
         sim = Simulator(seed=1)
-        link = Link(sim, bandwidth_bps=1e9, delay=0.0,
+        link = Link(sim, bandwidth_bps=1e9, delay_s=0.0,
                     queue=DropTailQueue(100_000_000))
         link.set_loss_rate(0.99)
         arrivals = send_over(sim, [link], [make_packet(i) for i in range(200)])
@@ -124,7 +124,7 @@ class TestLinkMutation:
 
     def test_utilization_reflects_busy_time(self):
         sim = Simulator()
-        link = Link(sim, bandwidth_bps=12_000, delay=0.0)
+        link = Link(sim, bandwidth_bps=12_000, delay_s=0.0)
         send_over(sim, [link], [make_packet(0)])
         assert link.stats.utilization(2.0, link.bandwidth_bps) == pytest.approx(0.5)
 
@@ -132,22 +132,22 @@ class TestLinkMutation:
 class TestPath:
     def test_base_rtt_sums_both_directions(self):
         sim = Simulator()
-        fwd = Link(sim, bandwidth_bps=1e6, delay=0.015)
-        rev = Link(sim, bandwidth_bps=1e6, delay=0.025)
+        fwd = Link(sim, bandwidth_bps=1e6, delay_s=0.015)
+        rev = Link(sim, bandwidth_bps=1e6, delay_s=0.025)
         path = Path([fwd], [rev])
         assert path.base_rtt == pytest.approx(0.040)
 
     def test_bottleneck_bandwidth(self):
         sim = Simulator()
-        a = Link(sim, bandwidth_bps=100e6, delay=0.001)
-        b = Link(sim, bandwidth_bps=10e6, delay=0.001)
+        a = Link(sim, bandwidth_bps=100e6, delay_s=0.001)
+        b = Link(sim, bandwidth_bps=10e6, delay_s=0.001)
         path = Path([a, b], [a])
         assert path.bottleneck_bandwidth_bps == 10e6
 
     def test_bind_creates_routes(self):
         sim = Simulator()
-        fwd = Link(sim, bandwidth_bps=1e6, delay=0.001)
-        rev = Link(sim, bandwidth_bps=1e6, delay=0.001)
+        fwd = Link(sim, bandwidth_bps=1e6, delay_s=0.001)
+        rev = Link(sim, bandwidth_bps=1e6, delay_s=0.001)
         path = Path([fwd], [rev])
         path.bind(lambda p: None, lambda p: None)
         assert path.forward_route is not None

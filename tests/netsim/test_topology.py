@@ -49,14 +49,14 @@ class TestTopologyBuilders:
 
     def test_dumbbell_per_flow_rtt(self):
         sim = Simulator()
-        config = LinkConfig(bandwidth_bps=100e6, delay=0.005, buffer_bytes=100_000)
+        config = LinkConfig(bandwidth_bps=100e6, delay_s=0.005, buffer_bytes=100_000)
         topo = dumbbell(sim, config, access_delays=[0.005, 0.045])
         assert topo.paths[0].base_rtt == pytest.approx(0.020)
         assert topo.paths[1].base_rtt == pytest.approx(0.100)
 
     def test_dumbbell_flows_share_bottleneck(self):
         sim = Simulator()
-        config = LinkConfig(bandwidth_bps=100e6, delay=0.005, buffer_bytes=100_000)
+        config = LinkConfig(bandwidth_bps=100e6, delay_s=0.005, buffer_bytes=100_000)
         topo = dumbbell(sim, config, access_delays=[0.001, 0.001, 0.001])
         bottlenecks = {path.forward_links[-1] for path in topo.paths}
         assert bottlenecks == {topo.bottleneck_forward}
@@ -72,7 +72,7 @@ class TestTopologyBuilders:
     def test_link_config_custom_queue_factory(self):
         from repro.netsim import InfiniteQueue
         sim = Simulator()
-        config = LinkConfig(bandwidth_bps=1e6, delay=0.01,
+        config = LinkConfig(bandwidth_bps=1e6, delay_s=0.01,
                             queue_factory=InfiniteQueue)
         link = config.build(sim)
         assert isinstance(link.queue, InfiniteQueue)
@@ -202,7 +202,7 @@ class TestDynamics:
         sim.run(1.5)
         assert topo.forward.bandwidth_bps == 50e6
         sim.run(2.5)
-        assert topo.forward.delay == pytest.approx(0.03)
+        assert topo.forward.delay_s == pytest.approx(0.03)
         assert topo.forward.loss_rate == pytest.approx(0.02)
 
 
