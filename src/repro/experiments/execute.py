@@ -22,14 +22,21 @@ non-deterministic ``wall_time_s``, which is stripped into
 
 from __future__ import annotations
 
+import cProfile
+import json
 import multiprocessing
 import os
+import pstats
+import sys
 from functools import partial
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from .results import ResultSet, ResultSetWriter, cell_identity_key
 
 __all__ = ["execute_cells"]
+
+#: How many cumulative-time entries a per-cell profile prints to stderr.
+PROFILE_TOP_N = 20
 
 
 def _run_positioned(run_one: Callable[[Any], Dict[str, Any]],
@@ -41,6 +48,24 @@ def _run_positioned(run_one: Callable[[Any], Dict[str, Any]],
     return position, run_one(cell)
 
 
+def _run_profiled(run_one: Callable[[Any], Dict[str, Any]],
+                  cell: Any) -> Dict[str, Any]:
+    """Run one cell under :mod:`cProfile`, printing its hottest entries.
+
+    The report goes to stderr so canonical JSON on stdout (and any --output
+    file) is untouched; the cell's outcome dict is returned unchanged, so
+    profiling never perturbs the recorded results — only the wall times,
+    which are non-deterministic telemetry anyway.
+    """
+    profiler = cProfile.Profile()
+    outcome = profiler.runcall(run_one, cell)
+    identity = json.dumps(cell.params(), sort_keys=True)
+    print(f"profile: cell {identity}", file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    return outcome
+
+
 def execute_cells(
     cells: Sequence[Any],
     run_one: Callable[[Any], Dict[str, Any]],
@@ -48,6 +73,7 @@ def execute_cells(
     workers: int = 1,
     jsonl_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    profile: bool = False,
 ) -> ResultSet:
     """Run ``run_one`` over every cell, fanning out across ``workers`` processes.
 
@@ -67,9 +93,19 @@ def execute_cells(
     prior file must have been produced with the same ``base_seed`` (cell
     identities embed their derived seeds, so a mismatch could never match
     anyway — it is reported as the error it is).
+
+    ``profile`` wraps each cell in :mod:`cProfile` and prints its top
+    cumulative-time entries to **stderr** (canonical stdout/JSON output is
+    never touched).  Profiling is serial-only: a profile interleaved across
+    worker processes would attribute time to the wrong cells.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if profile and workers != 1:
+        raise ValueError(
+            "profile requires workers=1: per-cell profiles from concurrent "
+            "worker processes would interleave and misattribute time"
+        )
     outcomes: Dict[int, Tuple[Dict[str, Any], float]] = {}
     if resume_from is not None and os.path.exists(resume_from):
         prior = ResultSet.load(resume_from)
@@ -111,7 +147,10 @@ def execute_cells(
 
         if workers == 1 or len(pending) <= 1:
             for position, cell in pending:
-                take(position, run_one(cell))
+                if profile:
+                    take(position, _run_profiled(run_one, cell))
+                else:
+                    take(position, run_one(cell))
         elif pending:
             with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
                 # imap_unordered: records hit the JSONL stream the moment each

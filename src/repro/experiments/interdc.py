@@ -17,7 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..netsim import DEFAULT_MSS, FlowSpec, Simulator, single_bottleneck
+from ..netsim import (
+    DEFAULT_BACKEND,
+    DEFAULT_MSS,
+    FlowSpec,
+    create_simulator,
+    single_bottleneck,
+)
 from ..units import BPS_PER_MBPS, MS_PER_S
 from .runner import run_flows
 
@@ -64,9 +70,10 @@ def run_pair(
     duration: float = 25.0,
     seed: int = 3,
     mss: int = DEFAULT_MSS,
+    backend: str = DEFAULT_BACKEND,
 ) -> float:
     """Run one protocol over one pair's emulated reserved path; Mbps goodput."""
-    sim = Simulator(seed=seed)
+    sim = create_simulator(backend, seed=seed)
     topo = single_bottleneck(
         sim,
         bandwidth_bps=reserved_bandwidth_bps,
@@ -83,6 +90,7 @@ def run_table(
     pairs: Optional[Sequence[InterDCPair]] = None,
     reserved_bandwidth_bps: float = 200e6,
     duration: float = 25.0,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[dict]:
     """Regenerate Table 1: one row per pair, one column per scheme (Mbps)."""
     rows = []
@@ -92,7 +100,7 @@ def run_table(
         for scheme in schemes:
             row[scheme] = run_pair(
                 pair, scheme, reserved_bandwidth_bps=reserved_bandwidth_bps,
-                duration=duration,
+                duration=duration, backend=backend,
             )
         rows.append(row)
     return rows

@@ -23,7 +23,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..netsim import FlowSpec, Simulator, bdp_bytes, single_bottleneck
+from ..netsim import (
+    DEFAULT_BACKEND,
+    FlowSpec,
+    bdp_bytes,
+    create_simulator,
+    single_bottleneck,
+)
 from ..units import BPS_PER_MBPS, MS_PER_S
 from .runner import run_flows
 
@@ -87,9 +93,9 @@ def sample_paths(count: int, seed: int = 7,
 
 
 def run_path(config: InternetPathConfig, scheme: str, duration: float = 15.0,
-             **controller_kwargs) -> float:
+             backend: str = DEFAULT_BACKEND, **controller_kwargs) -> float:
     """Run one protocol over one synthetic path; returns goodput in Mbps."""
-    sim = Simulator(seed=config.seed)
+    sim = create_simulator(backend, seed=config.seed)
     topo = single_bottleneck(
         sim,
         bandwidth_bps=config.bandwidth_bps,
@@ -107,12 +113,15 @@ def improvement_ratios(
     baseline_scheme: str,
     duration: float = 15.0,
     pcc_kwargs: Optional[dict] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> List[float]:
     """PCC-over-baseline goodput ratio for every path (Figure 5's x axis)."""
     ratios = []
     for config in paths:
-        pcc = run_path(config, "pcc", duration=duration, **(pcc_kwargs or {}))
-        baseline = run_path(config, baseline_scheme, duration=duration)
+        pcc = run_path(config, "pcc", duration=duration, backend=backend,
+                       **(pcc_kwargs or {}))
+        baseline = run_path(config, baseline_scheme, duration=duration,
+                            backend=backend)
         ratios.append(pcc / baseline if baseline > 0 else float("inf"))
     return ratios
 

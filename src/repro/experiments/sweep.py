@@ -56,15 +56,18 @@ from ..schemes import (
     resolve_scheme_spec,
     scheme_variant_names,
 )
-from .execute import execute_cells
+from .execute import PROFILE_TOP_N, execute_cells
 from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
 from ..netsim import (
+    DEFAULT_BACKEND,
     SYNTHETIC_TRACES,
     FlowSpec,
     Path,
     Simulator,
     TraceLinkDynamics,
     bdp_bytes,
+    create_simulator,
+    engine_backend_names,
     make_synthetic_trace,
     parking_lot,
     single_bottleneck,
@@ -138,6 +141,9 @@ class SweepCell:
     #: Registered utility-function name for this cell's PCC flows (``None``
     #: means the scheme default, i.e. the safe utility).
     utility: Optional[str] = None
+    #: Registered engine backend that simulates this cell (see
+    #: :func:`repro.netsim.register_engine_backend`).
+    backend: str = DEFAULT_BACKEND
 
     def resolved_scheme_kwargs(self) -> Dict[str, Any]:
         """Controller kwargs this cell's scheme spec + utility resolve to.
@@ -189,6 +195,12 @@ class SweepCell:
         scheme_kwargs = self.resolved_scheme_kwargs()
         if scheme_kwargs:
             out["scheme_kwargs"] = scheme_kwargs
+        # The backend enters the identity only when non-default, so every
+        # archived packet-backend sweep stays byte-comparable — and a
+        # non-packet run can never be confused with (or resumed into) a
+        # packet-backend archive.
+        if self.backend != DEFAULT_BACKEND:
+            out["backend"] = self.backend
         return out
 
 
@@ -420,6 +432,10 @@ class SweepGrid:
     topology: str = "single_bottleneck"
     #: JSON-serializable arguments interpreted by the topology builder.
     topology_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Registered engine backend shared by every cell (see
+    #: :func:`repro.netsim.register_engine_backend`).  Part of the cell
+    #: identity when non-default.
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if not self.schemes:
@@ -446,6 +462,17 @@ class SweepGrid:
                 f"utilities via the utilities axis so the cell identity "
                 f"records them"
             )
+        if "backend" in self.controller_kwargs:
+            # The engine backend is cell identity (when non-default), not a
+            # controller knob: smuggled through controller_kwargs it would be
+            # simulated but never recorded.
+            raise ValueError(
+                "controller_kwargs cannot set ['backend']; pass it as the "
+                "grid's backend field so the cell identity records it"
+            )
+        # Fail fast on unknown backend names (mirrors the topology check
+        # below: mid-sweep worker failures are far harder to diagnose).
+        create_simulator(self.backend, seed=0)
         # Registry kwarg defaults and variant kwargs are recorded in cell
         # identity JSON; letting grid-level controller_kwargs override either
         # would make the archived identity lie about what was simulated.
@@ -524,6 +551,7 @@ class SweepGrid:
                     topology=self.topology,
                     topology_kwargs=dict(resolved_kwargs),
                     utility=utility,
+                    backend=self.backend,
                 )
             )
         return out
@@ -543,7 +571,7 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     """
     # repro-lint: disable=RPL001 wall-time telemetry; stripped into ResultSet.timings, never canonical JSON
     start = time.perf_counter()
-    sim = Simulator(seed=cell.seed)
+    sim = create_simulator(cell.backend, seed=cell.seed)
     paths = _TOPOLOGIES.get(cell.topology).builder(sim, cell)
     # The full scheme spec goes to the runner, which resolves any variant
     # against the scheme registry — the identical resolution recorded in the
@@ -565,14 +593,19 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     ]
     result = run_flows(sim, paths, specs, duration=cell.duration)
     wall = time.perf_counter() - start  # repro-lint: disable=RPL001 wall-time telemetry
+    engine: Dict[str, Any] = {
+        "events_processed": sim.events_processed,
+        "pending_events": sim.pending_events,
+        "simulated_seconds": cell.duration,
+    }
+    # Like the identity, the engine payload names the backend only when
+    # non-default, keeping archived packet-backend JSON byte-comparable.
+    if cell.backend != DEFAULT_BACKEND:
+        engine["backend"] = cell.backend
     return {
         "cell": cell.params(),
         "flows": result.summary_rows(),
-        "engine": {
-            "events_processed": sim.events_processed,
-            "pending_events": sim.pending_events,
-            "simulated_seconds": cell.duration,
-        },
+        "engine": engine,
         "wall_time_s": wall,
     }
 
@@ -583,6 +616,7 @@ def sweep(
     workers: int = 1,
     jsonl_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    profile: bool = False,
 ) -> ResultSet:
     """Run every cell of ``grid``, fanning out across ``workers`` processes.
 
@@ -605,11 +639,12 @@ def sweep(
 
     The streaming/resume machinery itself lives in
     :func:`repro.experiments.execute.execute_cells`, shared with the report
-    layer's scenario-list specs.
+    layer's scenario-list specs; ``profile`` (serial-only) prints each cell's
+    hottest functions to stderr without touching canonical output.
     """
     return execute_cells(grid.cells(base_seed), run_cell, base_seed,
                          workers=workers, jsonl_path=jsonl_path,
-                         resume_from=resume_from)
+                         resume_from=resume_from, profile=profile)
 
 
 # --------------------------------------------------------------------------- #
@@ -661,6 +696,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--topology", default="single_bottleneck",
                         choices=topology_names(),
                         help="registered topology builder shared by every cell")
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=engine_backend_names(),
+                        help="engine backend shared by every cell; recorded "
+                             "in each cell's identity when non-default")
     parser.add_argument("--hops", type=int, default=None,
                         help="parking_lot only: number of bottleneck hops "
                              "(flows cycle over the long path then one cross "
@@ -691,6 +730,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "--output JSON) and run only the missing ones")
     parser.add_argument("--timing", action="store_true",
                         help="include per-cell wall times in the JSON output")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each cell with cProfile and print the "
+                             f"top {PROFILE_TOP_N} cumulative entries to "
+                             "stderr (serial only; canonical output is "
+                             "untouched)")
     return parser
 
 
@@ -704,6 +748,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--hops requires --topology parking_lot")
     if args.trace is not None and args.topology != "trace_bottleneck":
         parser.error("--trace requires --topology trace_bottleneck")
+    if args.profile and args.workers != 1:
+        parser.error("--profile requires --workers 1 (per-cell profiles from "
+                     "concurrent workers would interleave)")
     schemes = list(args.schemes)
     if args.policy is not None:
         # Expand each plain pcc entry into one spec per requested policy
@@ -756,6 +803,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             stagger=args.stagger,
             topology=args.topology,
             topology_kwargs=topology_kwargs,
+            backend=args.backend,
         )
     except ValueError as exc:
         # Mis-combined axes (e.g. a utilities axis over a TCP scheme) carry
@@ -774,7 +822,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"--resume-from: {args.resume_from} does not exist")
     try:
         result = sweep(grid, base_seed=args.seed, workers=args.workers,
-                       jsonl_path=args.jsonl, resume_from=args.resume_from)
+                       jsonl_path=args.jsonl, resume_from=args.resume_from,
+                       profile=args.profile)
     except ValueError as exc:
         # e.g. resuming from a file produced with a different base seed.
         parser.error(str(exc))

@@ -1,0 +1,162 @@
+"""Engine backends: pluggable simulator factories behind a name registry.
+
+Every experiment layer (``run_flows`` scenarios, sweep grids, report specs)
+constructs its :class:`~repro.netsim.engine.Simulator` through
+:func:`create_simulator`, selecting a *backend* by JSON-serializable name —
+exactly how schemes, topologies and rate-control policies are selected.  Two
+backends ship built in:
+
+``"packet"`` (default)
+    Today's pure packet-level engine: every serialization, propagation and
+    queue service is an event.  Exact, and the reference for all golden
+    artifacts.
+
+``"hybrid"``
+    A :class:`HybridSimulator` whose links switch individually between packet
+    mode and a batched *fluid* mode.  When a link's queue has stayed empty —
+    every arrival found the link idle — for a configurable quiescence window,
+    the link starts serving arrivals analytically: departure and delivery
+    times come from the closed-form FIFO recurrence
+    ``depart = max(arrival, next_free) + size/bandwidth`` and deliveries are
+    released in batches (one event per batch window instead of one per
+    packet).  Only loss-free plain-FIFO links are eligible — resampling a
+    link's random-loss process in batches changes which packets die, and
+    PCC's behavior under loss is trajectory-sensitive enough that lossy
+    links must replay the packet backend's exact per-serialization RNG
+    draws.  The instant backlog builds beyond the batch
+    window, a tail drop would occur, or the link's parameters change (e.g. a
+    :class:`~repro.netsim.dynamics.TraceLinkDynamics` step), the link falls
+    back to packet mode with every pending delivery scheduled at its exact
+    analytic time.  A link that never engages fluid mode behaves — byte for
+    byte, RNG draw for RNG draw — like the packet backend.
+
+Like every registry in this codebase, backends must be registered at module
+import time so ``spawn``-method sweep workers can re-resolve names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..registry import NameRegistry
+from ..units import Seconds
+from .engine import Simulator
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "FluidConfig",
+    "HybridSimulator",
+    "create_simulator",
+    "engine_backend_names",
+    "register_engine_backend",
+]
+
+#: The backend every entry point uses unless told otherwise.  Cell identities
+#: record the backend only when it differs from this, so all golden JSON
+#: artifacts produced before backends existed stay byte-comparable.
+DEFAULT_BACKEND = "packet"
+
+
+@dataclass(frozen=True)
+class FluidConfig:
+    """Tuning knobs for the hybrid backend's fluid mode.
+
+    ``quiescence_window_s``
+        How long every arrival must have found the link idle (empty queue, no
+        serialization in progress) before the link switches to analytic
+        service.  ``math.inf`` disables fluid mode entirely, which forces the
+        hybrid backend to behave byte-identically to the packet backend.
+    ``batch_window_s``
+        Granularity of batched delivery: pending fluid deliveries are
+        released together once per window, so delivery timestamps are late by
+        at most one window.  Also the backlog bound — a virtual queueing
+        delay beyond one window reverts the link to packet mode.
+    """
+
+    quiescence_window_s: Seconds = 0.25
+    batch_window_s: Seconds = 0.005
+
+    def __post_init__(self) -> None:
+        """Reject non-positive windows (zero would engage/flush every event)."""
+        if self.quiescence_window_s <= 0:
+            raise ValueError("quiescence_window_s must be positive")
+        if self.batch_window_s <= 0:
+            raise ValueError("batch_window_s must be positive")
+
+
+class HybridSimulator(Simulator):
+    """The fluid/packet hybrid engine.
+
+    The event loop is inherited unchanged from :class:`Simulator`; the hybrid
+    behavior lives in the links, which read :attr:`fluid_config` at
+    construction time and manage their own packet/fluid switching (see
+    ``Link._fluid_serve``).  Senders ask :meth:`pacing_window_s` whether their
+    whole path is currently fluid; when it is, a rate-based sender emits one
+    batch window's worth of packets per pacing event, stamped with virtual
+    send times, instead of one packet per event.
+    """
+
+    def __init__(self, seed: Optional[int] = 0,
+                 fluid_config: Optional[FluidConfig] = None):
+        super().__init__(seed=seed)
+        #: Read by every :class:`~repro.netsim.link.Link` built on this
+        #: simulator; links on plain FIFO queues opt into fluid mode.
+        self.fluid_config = (fluid_config if fluid_config is not None
+                             else FluidConfig())
+
+    def pacing_window_s(self, path) -> Seconds:
+        """Batched-pacing window for a sender on ``path`` (0.0 = packet pacing).
+
+        Batching send times is only coherent while every link the flow
+        touches — forward and reverse — is serving analytically; one link in
+        packet mode means real event timing matters and the sender must pace
+        packet by packet.
+        """
+        for link in (*path.forward_links, *path.reverse_links):
+            fluid = getattr(link, "_fluid", None)
+            if fluid is None or not fluid.engaged:
+                return 0.0
+        return self.fluid_config.batch_window_s
+
+
+_BACKENDS: NameRegistry[Callable[[Optional[int]], Simulator]] = (
+    NameRegistry("engine backend")
+)
+
+
+def register_engine_backend(
+    name: str, factory: Callable[[Optional[int]], Simulator]
+) -> None:
+    """Register ``factory`` (seed -> simulator) under ``name``.
+
+    Backends are resolved by name inside spawn-method worker processes, so —
+    like schemes, topologies and policies — registration must happen at
+    module import time.
+    """
+    _BACKENDS.register(name, factory)
+
+
+def engine_backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return _BACKENDS.names()
+
+
+def create_simulator(backend: str = DEFAULT_BACKEND,
+                     seed: Optional[int] = 0) -> Simulator:
+    """Build a simulator with the named backend (unknown names list the valid ones)."""
+    return _BACKENDS.get(backend)(seed)
+
+
+def _packet_backend(seed: Optional[int]) -> Simulator:
+    """The reference per-packet engine."""
+    return Simulator(seed=seed)
+
+
+def _hybrid_backend(seed: Optional[int]) -> Simulator:
+    """The fluid/packet hybrid engine with default windows."""
+    return HybridSimulator(seed=seed)
+
+
+register_engine_backend("packet", _packet_backend)
+register_engine_backend("hybrid", _hybrid_backend)

@@ -18,6 +18,8 @@ exactly as the paper's Figure 11 does.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from operator import itemgetter
 from typing import List, Optional, Sequence, Tuple
 
 from .engine import Simulator
@@ -76,14 +78,17 @@ class _OptimalRateHistory:
     _initial_bandwidth_bps: float
 
     def optimal_rate_at(self, time: float) -> float:
-        """The available bandwidth (bps) that was in force at ``time``."""
-        rate = self._initial_bandwidth_bps
-        for applied_at, bandwidth, _rtt, _loss in self.history:
-            if applied_at <= time:
-                rate = bandwidth
-            else:
-                break
-        return rate
+        """The available bandwidth (bps) that was in force at ``time``.
+
+        The history is appended in simulation-time order, so the latest entry
+        not after ``time`` is found by bisection; ties (several entries applied
+        at exactly ``time``) resolve to the last one, like the linear scan this
+        replaced.
+        """
+        index = bisect_right(self.history, time, key=itemgetter(0))
+        if index == 0:
+            return self._initial_bandwidth_bps
+        return self.history[index - 1][1]
 
     def mean_optimal_rate(self, start: float, end: float) -> float:
         """Time-weighted mean available bandwidth between ``start`` and ``end``."""

@@ -50,6 +50,7 @@ class Packet:
         "mi_id",
         "is_retransmission",
         "is_probe",
+        "virtual_time",
     )
 
     def __init__(
@@ -83,6 +84,12 @@ class Packet:
         self.is_retransmission = is_retransmission
         # Probe packets (e.g. PCP packet trains) carry no application data.
         self.is_probe = is_probe
+        # Analytic timestamp used by the hybrid engine backend: the exact
+        # (unbatched) time this packet was sent or delivered.  Negative means
+        # "no virtual time": the packet lives purely on the event clock.
+        # Links in fluid mode propagate it exactly across hops; admission
+        # into a real (packet-mode) queue invalidates it.
+        self.virtual_time = -1.0
 
     def make_ack(self, packet_id: int, ack_size: int, now: float) -> "Packet":
         """Build the acknowledgement for this data packet.
@@ -104,6 +111,10 @@ class Packet:
         ack.acked_data_seq = self.data_seq
         ack.ack_sent_time = self.sent_time
         ack.is_probe = self.is_probe
+        # The ACK leaves at the data packet's analytic arrival time when the
+        # data packet travelled in fluid mode (batched delivery means ``now``
+        # may be up to one batch window later than that).
+        ack.virtual_time = self.virtual_time
         return ack
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

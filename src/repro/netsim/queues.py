@@ -82,6 +82,10 @@ class QueueDiscipline:
     # -- shared helpers ------------------------------------------------------
     def _admit(self, packet: Packet, now: float) -> None:
         packet.enqueue_time = now
+        # Entering a real queue puts the packet back on the event clock: any
+        # analytic timestamp from an upstream fluid-mode link no longer
+        # describes when this hop will serve it.
+        packet.virtual_time = -1.0
         self.bytes_queued += packet.size_bytes
         self.packets_queued += 1
         self.stats.enqueued += 1

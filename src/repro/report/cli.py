@@ -23,6 +23,8 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from ..experiments.execute import PROFILE_TOP_N
+from ..netsim import DEFAULT_BACKEND, engine_backend_names
 from .render import matrix_drift, render_matrix, render_report
 from .run import SpecOutcome, run_report_spec
 from .spec import ReportSpec, list_report_specs, report_spec_ids
@@ -42,6 +44,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes per spec (rendered output is "
                              "identical for any value)")
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=engine_backend_names(),
+                        help="engine backend every simulating cell runs "
+                             "under; recorded in cell identities when "
+                             "non-default")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each cell with cProfile and print the "
+                             f"top {PROFILE_TOP_N} cumulative entries to "
+                             "stderr (serial only; canonical output is "
+                             "untouched)")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the rendered claim ledger here (default: "
                              "REPORT.md for full runs; --only subsets must "
@@ -122,6 +134,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.profile and args.workers != 1:
+        parser.error("--profile requires --workers 1 (per-cell profiles from "
+                     "concurrent workers would interleave)")
     report_path = args.report
     if report_path is None:
         if args.only is not None:
@@ -155,7 +170,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             outcome = run_report_spec(spec, workers=args.workers,
                                       jsonl_path=jsonl_path,
-                                      resume_from=resume_path)
+                                      resume_from=resume_path,
+                                      backend=args.backend,
+                                      profile=args.profile)
         except ValueError as exc:
             # e.g. resuming from a file produced with a different base seed.
             parser.error(str(exc))

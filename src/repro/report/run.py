@@ -9,6 +9,7 @@ interrupted) run, and results that are byte-identical for any worker count.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Union
@@ -16,6 +17,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..experiments.execute import execute_cells
 from ..experiments.results import ResultSet
 from ..experiments.sweep import run_cell
+from ..netsim import DEFAULT_BACKEND
 from .spec import (
     ClaimResult,
     GridRun,
@@ -23,6 +25,7 @@ from .spec import (
     ScenarioCell,
     get_report_spec,
     get_scenario_runner,
+    scenario_runner_simulates,
 )
 
 __all__ = ["SpecOutcome", "evaluate_claims", "run_report_spec"]
@@ -94,6 +97,8 @@ def run_report_spec(
     workers: int = 1,
     jsonl_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    backend: str = DEFAULT_BACKEND,
+    profile: bool = False,
 ) -> SpecOutcome:
     """Execute one spec (by id or instance) and evaluate its claims.
 
@@ -103,18 +108,40 @@ def run_report_spec(
     ``resume_from`` are not re-simulated.  The extracted rows — and therefore
     the rendered report — are byte-identical for any ``workers`` value and
     for resumed versus uninterrupted runs.
+
+    ``backend`` selects the engine backend every simulating cell runs under;
+    a non-default backend enters each such cell's identity (analytic theorem
+    cells never simulate and keep one identity across backends).  ``profile``
+    prints each cell's hottest functions to stderr (serial only; see
+    :func:`repro.experiments.execute.execute_cells`).
     """
     if isinstance(spec, str):
         spec = get_report_spec(spec)
     run = spec.run
     if isinstance(run, GridRun):
-        cells: List[Any] = run.cells()
+        cells: List[Any] = [
+            cell
+            for grid in run.grids
+            for cell in dataclasses.replace(grid, backend=backend)
+            .cells(run.base_seed)
+        ]
         run_one = run_cell
     else:
         cells = run.cells()
+        if backend != DEFAULT_BACKEND:
+            # The backend joins each simulating cell's kwargs — and therefore
+            # its identity — so hybrid results can never be confused with (or
+            # resumed into) an archived packet-backend stream.
+            cells = [
+                dataclasses.replace(
+                    cell, kwargs={**cell.kwargs, "backend": backend})
+                if scenario_runner_simulates(cell.runner) else cell
+                for cell in cells
+            ]
         run_one = _run_scenario_cell
     result = execute_cells(cells, run_one, run.base_seed, workers=workers,
-                           jsonl_path=jsonl_path, resume_from=resume_from)
+                           jsonl_path=jsonl_path, resume_from=resume_from,
+                           profile=profile)
     rows = spec.rows(result)
     claims = evaluate_claims(spec, rows, result)
     return SpecOutcome(spec=spec, result=result, rows=rows, claims=claims)

@@ -1,0 +1,104 @@
+"""Tests for the rolling multi-run benchmark trajectory tool."""
+
+import json
+from pathlib import Path
+
+from repro.devtools.bench_trajectory import (
+    MAX_RUNS,
+    append_run,
+    format_trajectory,
+    load_extra_info,
+    main,
+)
+
+
+def write_report(path: Path, means: dict, extra: dict = ()) -> Path:
+    extra = dict(extra or {})
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"fullname": name,
+             "stats": {"mean": mean},
+             **({"extra_info": extra[name]} if name in extra else {})}
+            for name, mean in means.items()
+        ]
+    }))
+    return path
+
+
+class TestAppend:
+    def test_creates_trajectory_and_records_means(self, tmp_path):
+        report = write_report(tmp_path / "r.json", {"bench": 1.5})
+        trajectory = append_run(tmp_path / "t.json", report, commit="aaa111")
+        assert trajectory["runs"] == [
+            {"commit": "aaa111", "means_s": {"bench": 1.5}, "extra_info": {}}
+        ]
+        assert json.loads((tmp_path / "t.json").read_text()) == trajectory
+
+    def test_reappending_a_commit_is_idempotent(self, tmp_path):
+        report = write_report(tmp_path / "r.json", {"bench": 1.5})
+        append_run(tmp_path / "t.json", report, commit="aaa111")
+        trajectory = append_run(tmp_path / "t.json", report, commit="aaa111")
+        assert len(trajectory["runs"]) == 1
+
+    def test_runs_accumulate_in_order_and_trim_to_window(self, tmp_path):
+        trajectory_path = tmp_path / "t.json"
+        for index in range(MAX_RUNS + 3):
+            report = write_report(tmp_path / "r.json",
+                                  {"bench": float(index)})
+            trajectory = append_run(trajectory_path, report,
+                                    commit=f"c{index}")
+        assert len(trajectory["runs"]) == MAX_RUNS
+        assert trajectory["runs"][-1]["commit"] == f"c{MAX_RUNS + 2}"
+        assert trajectory["runs"][0]["commit"] == "c3"
+
+    def test_extra_info_is_carried_per_benchmark(self, tmp_path):
+        report = write_report(
+            tmp_path / "r.json", {"hybrid": 7.0, "packet": 26.7},
+            extra={"hybrid": {"backend": "hybrid", "event_ratio": 53.4}})
+        assert load_extra_info(report) == {
+            "hybrid": {"backend": "hybrid", "event_ratio": 53.4}}
+        trajectory = append_run(tmp_path / "t.json", report, commit="bbb")
+        assert (trajectory["runs"][0]["extra_info"]["hybrid"]["event_ratio"]
+                == 53.4)
+
+
+class TestFormat:
+    def test_missing_benchmarks_render_as_dash(self, tmp_path):
+        trajectory_path = tmp_path / "t.json"
+        append_run(trajectory_path,
+                   write_report(tmp_path / "a.json", {"old": 1.0}), "c1")
+        trajectory = append_run(
+            trajectory_path,
+            write_report(tmp_path / "b.json", {"new": 2.0}), "c2")
+        text = format_trajectory(trajectory)
+        assert "old" in text and "new" in text
+        assert "-" in text
+        assert "c1 c2" in text.replace("  ", " ")
+
+    def test_empty_trajectory(self):
+        assert format_trajectory({"runs": []}) == "empty trajectory"
+
+
+class TestMain:
+    def test_append_then_show_roundtrip(self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json", {"bench": 1.5})
+        assert main(["append", str(tmp_path / "t.json"), str(report),
+                     "--commit", "abcdef0123"]) == 0
+        assert "abcdef012" in capsys.readouterr().out
+        assert main(["show", str(tmp_path / "t.json")]) == 0
+        assert "bench" in capsys.readouterr().out
+
+    def test_unreadable_report_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["append", str(tmp_path / "t.json"), str(bad),
+                     "--commit", "x"]) == 2
+        assert "bench_trajectory:" in capsys.readouterr().err
+
+    def test_corrupt_trajectory_exits_2(self, tmp_path, capsys):
+        report = write_report(tmp_path / "r.json", {"bench": 1.0})
+        trajectory = tmp_path / "t.json"
+        trajectory.write_text(json.dumps(["not", "a", "trajectory"]))
+        assert main(["append", str(trajectory), str(report),
+                     "--commit", "x"]) == 2
+        assert "trajectory file" in capsys.readouterr().err

@@ -1,0 +1,203 @@
+"""Backend threading through grids, sweeps, and the report layer."""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments.scenarios import (
+    lossy_link_scenario,
+    satellite_scenario,
+)
+from repro.experiments.sweep import SweepGrid, sweep
+from repro.netsim import (
+    FluidConfig,
+    HybridSimulator,
+    engine_backend_names,
+    register_engine_backend,
+)
+from repro.report.spec import scenario_runner_simulates
+
+#: A hybrid backend whose fluid mode can never engage — registered once at
+#: import time (like every backend) so spawn workers could resolve it too.
+FALLBACK_BACKEND = "hybrid-never-engages"
+if FALLBACK_BACKEND not in engine_backend_names():
+    register_engine_backend(
+        FALLBACK_BACKEND,
+        lambda seed: HybridSimulator(
+            seed=seed,
+            fluid_config=FluidConfig(quiescence_window_s=math.inf)))
+
+
+class TestBackendIdentity:
+    def test_default_backend_absent_from_cell_identity(self):
+        grid = SweepGrid(schemes=("cubic",), duration=1.0)
+        (cell,) = grid.cells(base_seed=7)
+        assert "backend" not in cell.params()
+
+    def test_non_default_backend_recorded_in_cell_identity(self):
+        grid = SweepGrid(schemes=("cubic",), duration=1.0, backend="hybrid")
+        (cell,) = grid.cells(base_seed=7)
+        assert cell.params()["backend"] == "hybrid"
+
+    def test_backend_does_not_change_derived_seeds(self):
+        """Same grid, same cell seeds — only the identity key differs, so
+        packet-vs-hybrid comparisons are seed-for-seed."""
+        packet = SweepGrid(schemes=("cubic",), duration=1.0)
+        hybrid = SweepGrid(schemes=("cubic",), duration=1.0,
+                           backend="hybrid")
+        assert (packet.cells(base_seed=7)[0].seed
+                == hybrid.cells(base_seed=7)[0].seed)
+
+    def test_controller_kwargs_cannot_smuggle_backend(self):
+        with pytest.raises(ValueError, match=r"controller_kwargs cannot set "
+                                             r"\['backend'\]"):
+            SweepGrid(schemes=("cubic",),
+                      controller_kwargs={"backend": "hybrid"})
+
+    def test_unknown_backend_rejected_at_grid_construction(self):
+        with pytest.raises(ValueError, match=r"unknown engine backend "
+                                             r"'fluid'; registered: "):
+            SweepGrid(schemes=("cubic",), backend="fluid")
+
+    def test_theorem_runners_are_analytic(self):
+        assert not scenario_runner_simulates("theorem1_equilibrium")
+        assert not scenario_runner_simulates("theorem2_dynamics")
+        assert scenario_runner_simulates("interdc_pair")
+        with pytest.raises(ValueError, match="unknown report scenario "
+                                             "runner"):
+            scenario_runner_simulates("nope")
+
+
+class TestGoldenByteIdentity:
+    def test_explicit_packet_backend_matches_golden_json(self, tmp_path):
+        """``backend="packet"`` is the default spelled out: the pre-backend
+        golden artifact must stay byte-identical."""
+        golden_path = (pathlib.Path(__file__).parent / "data"
+                       / "golden_pcc_sweep_seed7.json")
+        grid = SweepGrid(
+            schemes=("pcc",),
+            bandwidths_bps=(5e6, 20e6),
+            rtts=(0.03,),
+            loss_rates=(0.0, 0.01),
+            flow_counts=(1, 2),
+            duration=3.0,
+            stagger=0.5,
+            backend="packet",
+        )
+        result = sweep(grid, base_seed=7)
+        out = tmp_path / "sweep.json"
+        result.write(str(out))
+        assert out.read_bytes() == golden_path.read_bytes()
+
+
+def _strip_backend(payload):
+    """Drop the backend identity/engine keys so trajectories can be compared
+    across backends that simulated identically."""
+    for record in payload["cells"]:
+        record["cell"].pop("backend", None)
+        record["engine"].pop("backend", None)
+    return payload
+
+
+class TestForcedFallbackByteIdentity:
+    def test_never_engaging_hybrid_sweep_equals_packet_sweep(self, tmp_path):
+        """A hybrid backend whose quiescence window is infinite must produce
+        the packet backend's records exactly — the only difference is the
+        backend name recorded in the identity."""
+        axes = dict(schemes=("cubic", "pcc"), bandwidths_bps=(20e6,),
+                    loss_rates=(0.005,), duration=2.0)
+        packet = sweep(SweepGrid(**axes), base_seed=3)
+        fallback = sweep(SweepGrid(**axes, backend=FALLBACK_BACKEND),
+                         base_seed=3)
+        packet_payload = json.loads(packet.to_json())
+        fallback_payload = json.loads(fallback.to_json())
+        for record in fallback_payload["cells"]:
+            assert record["cell"]["backend"] == FALLBACK_BACKEND
+            assert record["engine"]["backend"] == FALLBACK_BACKEND
+        assert (_strip_backend(fallback_payload)
+                == _strip_backend(packet_payload))
+
+
+#: Hybrid-vs-packet agreement bounds for the mini fig6/fig7 cells below.
+#: Loose by design: batched fluid delivery legitimately realigns RNG streams
+#: and ack timing, so per-cell metrics wander a few percent; the strict
+#: equivalence gate is the claim ledger (same 44 verdicts), not any one cell.
+GOODPUT_RTOL = 0.25
+RTT_RTOL = 0.30
+
+
+def _assert_close(metric, packet_value, hybrid_value, rtol):
+    assert packet_value > 0.0
+    rel = abs(hybrid_value - packet_value) / packet_value
+    assert rel <= rtol, (
+        f"{metric}: hybrid {hybrid_value:.4f} deviates {rel:.1%} from "
+        f"packet {packet_value:.4f} (tolerance {rtol:.0%})")
+
+
+class TestProfileFlag:
+    def test_execute_cells_profile_requires_serial(self):
+        from repro.experiments.execute import execute_cells
+        with pytest.raises(ValueError, match="profile requires workers=1"):
+            execute_cells([], lambda cell: {}, base_seed=0, workers=2,
+                          profile=True)
+
+    def test_sweep_cli_profile_requires_serial(self, capsys):
+        from repro.experiments.sweep import main
+        with pytest.raises(SystemExit):
+            main(["--schemes", "cubic", "--duration", "1",
+                  "--profile", "--workers", "2"])
+        assert "--workers 1" in capsys.readouterr().err
+
+    def test_report_cli_profile_requires_serial(self, capsys):
+        from repro.report.cli import main
+        with pytest.raises(SystemExit):
+            main(["--only", "theorems", "--report", "/dev/null",
+                  "--profile", "--workers", "2"])
+        assert "--workers 1" in capsys.readouterr().err
+
+    def test_profile_prints_stats_to_stderr_not_stdout(self, tmp_path,
+                                                       capsys):
+        """The canonical JSON is byte-identical with and without --profile;
+        the cProfile tables go to stderr only."""
+        from repro.experiments.sweep import main
+        args = ["--schemes", "cubic", "--bandwidth-mbps", "5",
+                "--duration", "1"]
+        plain, profiled = tmp_path / "plain.json", tmp_path / "profiled.json"
+        assert main([*args, "--output", str(plain)]) == 0
+        captured = capsys.readouterr()
+        assert "cumulative" not in captured.err
+        assert main([*args, "--output", str(profiled), "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "profile: cell" in captured.err
+        assert "cumulative" in captured.err
+        assert "profile: cell" not in captured.out
+        assert plain.read_bytes() == profiled.read_bytes()
+
+
+class TestHybridTolerance:
+    def test_fig6_shaped_satellite_cells(self):
+        """The §4.1.3 satellite link (42 Mbps, 800 ms, 0.74% loss) at a mini
+        duration: hybrid metrics track packet metrics within tolerance."""
+        for scheme in ("pcc", "cubic"):
+            packet = satellite_scenario(scheme, duration=10.0)
+            hybrid = satellite_scenario(scheme, duration=10.0,
+                                        backend="hybrid")
+            _assert_close(f"fig6 {scheme} goodput", packet.goodput_mbps,
+                          hybrid.goodput_mbps, GOODPUT_RTOL)
+            _assert_close(f"fig6 {scheme} rtt", packet.mean_rtt_ms,
+                          hybrid.mean_rtt_ms, RTT_RTOL)
+
+    def test_fig7_shaped_lossy_cells(self):
+        """The Figure 7 random-loss link (100 Mbps, 30 ms) at a mini
+        duration: hybrid metrics track packet metrics within tolerance."""
+        for scheme in ("pcc", "cubic"):
+            packet = lossy_link_scenario(scheme, loss_rate=0.001,
+                                         duration=5.0)
+            hybrid = lossy_link_scenario(scheme, loss_rate=0.001,
+                                         duration=5.0, backend="hybrid")
+            _assert_close(f"fig7 {scheme} goodput", packet.goodput_mbps,
+                          hybrid.goodput_mbps, GOODPUT_RTOL)
+            _assert_close(f"fig7 {scheme} rtt", packet.mean_rtt_ms,
+                          hybrid.mean_rtt_ms, RTT_RTOL)

@@ -1,0 +1,102 @@
+"""Unit tests for the engine-backend registry and the hybrid escape hatch."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import FlowSpec, run_flows
+from repro.netsim import (
+    DEFAULT_BACKEND,
+    FluidConfig,
+    HybridSimulator,
+    Simulator,
+    create_simulator,
+    engine_backend_names,
+    register_engine_backend,
+    single_bottleneck,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = engine_backend_names()
+        assert "packet" in names
+        assert "hybrid" in names
+        assert DEFAULT_BACKEND == "packet"
+
+    def test_packet_backend_builds_plain_simulator(self):
+        sim = create_simulator("packet", seed=3)
+        assert type(sim) is Simulator
+
+    def test_hybrid_backend_builds_hybrid_simulator(self):
+        sim = create_simulator("hybrid", seed=3)
+        assert isinstance(sim, HybridSimulator)
+        assert sim.fluid_config == FluidConfig()
+
+    def test_backends_honor_the_seed(self):
+        assert (create_simulator("packet", seed=5).rng.random()
+                == Simulator(seed=5).rng.random())
+
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(ValueError, match=r"unknown engine backend "
+                                             r"'fluid'; registered: "):
+            create_simulator("fluid")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match=r"engine backend 'packet' is "
+                                             r"already registered"):
+            register_engine_backend("packet", lambda seed: Simulator(seed))
+
+
+class TestFluidConfig:
+    def test_rejects_nonpositive_quiescence_window(self):
+        with pytest.raises(ValueError, match="quiescence_window_s"):
+            FluidConfig(quiescence_window_s=0.0)
+
+    def test_rejects_nonpositive_batch_window(self):
+        with pytest.raises(ValueError, match="batch_window_s"):
+            FluidConfig(batch_window_s=-0.001)
+
+    def test_infinite_quiescence_window_allowed(self):
+        config = FluidConfig(quiescence_window_s=math.inf)
+        assert config.quiescence_window_s == math.inf
+
+
+def _run_clean_link(sim, scheme="cubic", duration=3.0):
+    topo = single_bottleneck(sim, bandwidth_bps=20e6, rtt=0.04,
+                             buffer_bytes=100_000.0)
+    result = run_flows(sim, [topo.path], [FlowSpec(scheme=scheme)],
+                       duration=duration)
+    return result.flow(0)
+
+
+class TestForcedFallbackEquivalence:
+    def test_never_engaging_hybrid_matches_packet_exactly(self):
+        """quiescence_window_s=inf is the escape hatch: fluid mode never
+        engages, so the hybrid engine must replay the packet engine byte for
+        byte — same event count, same trajectories, same RNG stream."""
+        packet_sim = Simulator(seed=11)
+        packet_flow = _run_clean_link(packet_sim)
+        hybrid_sim = HybridSimulator(
+            seed=11, fluid_config=FluidConfig(quiescence_window_s=math.inf))
+        hybrid_flow = _run_clean_link(hybrid_sim)
+        assert hybrid_sim.events_processed == packet_sim.events_processed
+        assert hybrid_flow.goodput_bps(3.0) == packet_flow.goodput_bps(3.0)
+        assert hybrid_flow.mean_rtt == packet_flow.mean_rtt
+        # Identical remaining RNG streams prove identical draw sequences.
+        assert hybrid_sim.rng.random() == packet_sim.rng.random()
+
+    def test_default_hybrid_engages_on_a_quiet_link(self):
+        """A delay-based flow on a clean link goes quiescent, so the default
+        hybrid config must process far fewer events than the packet engine
+        while agreeing on goodput."""
+        packet_sim = Simulator(seed=11)
+        packet_flow = _run_clean_link(packet_sim, scheme="vegas",
+                                      duration=10.0)
+        hybrid_sim = HybridSimulator(seed=11)
+        hybrid_flow = _run_clean_link(hybrid_sim, scheme="vegas",
+                                      duration=10.0)
+        assert hybrid_sim.events_processed < packet_sim.events_processed / 3
+        packet_goodput = packet_flow.goodput_bps(10.0)
+        assert (abs(hybrid_flow.goodput_bps(10.0) - packet_goodput)
+                <= 0.05 * packet_goodput)

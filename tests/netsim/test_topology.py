@@ -181,6 +181,22 @@ class TestDynamics:
         assert dyn.optimal_rate_at(2.0) == dyn.history[0][1]
         assert dyn.optimal_rate_at(7.0) == dyn.history[1][1]
 
+    def test_optimal_rate_at_boundaries(self):
+        """The bisected lookup keeps the linear scan's semantics: before any
+        entry the configured rate is in force, an exact entry time reports
+        that entry, and a tie resolves to the last co-timed entry."""
+        sim = Simulator()
+        topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
+        schedule = [(1.0, 50e6, None, None), (2.0, 30e6, None, None),
+                    (2.0, 20e6, None, None)]
+        dyn = ScheduledLinkDynamics(sim, topo.forward, schedule)
+        dyn.start()
+        sim.run(3.0)
+        assert dyn.optimal_rate_at(0.5) == 100e6  # before the first entry
+        assert dyn.optimal_rate_at(1.0) == 50e6   # exactly at an entry
+        assert dyn.optimal_rate_at(2.0) == 20e6   # tie -> last co-timed entry
+        assert dyn.optimal_rate_at(99.0) == 20e6  # past the last entry
+
     def test_mean_optimal_rate_time_weighted(self):
         sim = Simulator(seed=9)
         topo = single_bottleneck(sim, 100e6, 0.03, buffer_bytes=100_000)
