@@ -30,6 +30,13 @@ from .interdc import PAPER_PAIRS, InterDCPair, run_pair, run_table
 from .incast import run_incast
 from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
 from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
+from .store import CellStore, store_key
+from .executors import (
+    DEFAULT_EXECUTOR,
+    executor_names,
+    get_executor,
+    register_executor,
+)
 
 #: Lazily re-exported from :mod:`.sweep` (PEP 562) so that running the sweep
 #: CLI as ``python -m repro.experiments.sweep`` does not import the module
@@ -102,6 +109,12 @@ __all__ = [
     "ResultSetWriter",
     "SweepResult",
     "cell_identity_key",
+    "CellStore",
+    "store_key",
+    "DEFAULT_EXECUTOR",
+    "executor_names",
+    "get_executor",
+    "register_executor",
     "SweepCell",
     "SweepGrid",
     "derive_seed",

@@ -1,22 +1,31 @@
 """Deterministic fan-out execution of identity-keyed cells.
 
-One executor backs every experiment path that runs many independent cells —
+One dispatcher backs every experiment path that runs many independent cells —
 :func:`repro.experiments.sweep.sweep` over a :class:`~.sweep.SweepGrid`, and
 the scenario-list report specs of :mod:`repro.report` — so the streaming,
-resume and byte-identity guarantees are implemented (and tested) exactly once:
+resume, reuse and byte-identity guarantees are implemented (and tested)
+exactly once:
 
-* cells fan out across worker processes with ``imap_unordered``, but the
-  returned :class:`~repro.experiments.results.ResultSet` is assembled in
-  canonical cell order, so results are bit-identical for any worker count;
-* ``jsonl_path`` streams each record to disk the moment its cell completes;
-* ``resume_from`` skips every cell whose identity already appears in a prior
-  (possibly interrupted) run's file and executes only the missing ones —
-  cell-exactly, because identity is the canonical JSON of the cell's params.
+* **what still needs running** is decided here: cells recorded in a
+  ``resume_from`` file and cells present in a content-addressed ``store``
+  (:class:`~repro.experiments.store.CellStore`) are reused without
+  execution, cell-exactly, because identity is the canonical JSON of the
+  cell's params;
+* **how the pending cells run** is delegated to a registered executor
+  (:mod:`repro.experiments.executors`: ``local`` pool, ``sharded``
+  processes, ``work-queue`` leases) — executors yield ``(position,
+  outcome)`` in any completion order, and the returned
+  :class:`~repro.experiments.results.ResultSet` is assembled in canonical
+  cell order here, so results are bit-identical for any worker count *and*
+  any executor;
+* ``jsonl_path`` streams each record to disk the moment its cell completes,
+  fresh outcomes are ``put`` back into the store, and a live progress/ETA
+  line renders on stderr (never canonical stdout/JSON).
 
 Cells must expose ``params() -> dict`` (the JSON-friendly identity) and be
 picklable; ``run_one`` must be a module-level function resolvable by worker
-processes, returning the record dict (``cell`` identity plus payload plus the
-non-deterministic ``wall_time_s``, which is stripped into
+processes, returning the record dict (``cell`` identity plus payload plus
+the non-deterministic ``wall_time_s``, which is stripped into
 :attr:`ResultSet.timings`).
 """
 
@@ -24,28 +33,21 @@ from __future__ import annotations
 
 import cProfile
 import json
-import multiprocessing
 import os
 import pstats
 import sys
 from functools import partial
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
+from .executors import DEFAULT_EXECUTOR, get_executor
+from .progress import ProgressReporter
 from .results import ResultSet, ResultSetWriter, cell_identity_key
+from .store import CellStore, open_store
 
 __all__ = ["execute_cells"]
 
 #: How many cumulative-time entries a per-cell profile prints to stderr.
 PROFILE_TOP_N = 20
-
-
-def _run_positioned(run_one: Callable[[Any], Dict[str, Any]],
-                    item: Tuple[int, Any]) -> Tuple[int, Dict[str, Any]]:
-    """Worker shim: keep the cell's grid position with its outcome, so the
-    parent can stream completion-ordered results and still assemble the
-    canonical cell-index ordering."""
-    position, cell = item
-    return position, run_one(cell)
 
 
 def _run_profiled(run_one: Callable[[Any], Dict[str, Any]],
@@ -74,13 +76,18 @@ def execute_cells(
     jsonl_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     profile: bool = False,
+    executor: str = DEFAULT_EXECUTOR,
+    executor_options: Optional[Dict[str, Any]] = None,
+    store: Union[str, CellStore, None] = None,
+    progress: Optional[bool] = None,
 ) -> ResultSet:
-    """Run ``run_one`` over every cell, fanning out across ``workers`` processes.
+    """Run ``run_one`` over every cell via the named executor.
 
-    The returned :class:`~repro.experiments.results.ResultSet` is in canonical
-    cell order and bit-identical for any ``workers`` value, provided each
-    cell's outcome is a pure function of the cell itself (private per-cell
-    seeds, no shared random state).
+    The returned :class:`~repro.experiments.results.ResultSet` is in
+    canonical cell order and bit-identical for any ``workers`` value and any
+    registered ``executor`` (``local`` / ``sharded`` / ``work-queue``),
+    provided each cell's outcome is a pure function of the cell itself
+    (private per-cell seeds, no shared random state).
 
     ``jsonl_path`` streams each cell's record to disk the moment it completes
     (appending when it is the same file as ``resume_from``, otherwise starting
@@ -94,19 +101,38 @@ def execute_cells(
     identities embed their derived seeds, so a mismatch could never match
     anyway — it is reported as the error it is).
 
-    ``profile`` wraps each cell in :mod:`cProfile` and prints its top
-    cumulative-time entries to **stderr** (canonical stdout/JSON output is
-    never touched).  Profiling is serial-only: a profile interleaved across
-    worker processes would attribute time to the wrong cells.
+    ``store`` (a directory path or an open
+    :class:`~repro.experiments.store.CellStore`) is the cross-run reuse
+    layer: cells whose content-addressed identity is already stored skip
+    execution exactly like ``resume_from`` hits, and fresh outcomes are put
+    back, so *any* later run reuses every cell ever computed.  Whenever
+    ``resume_from`` or ``store`` is active, a one-line reuse summary
+    (``reused K cells (R resume, S store), executing M``) is printed to
+    stderr, and the returned result carries the counts in
+    :attr:`ResultSet.reuse`.  When every cell is satisfied without
+    execution, no executor (pool, shard or queue worker) is started at all.
+
+    ``progress`` controls the live progress/ETA line on stderr (cells
+    done/total, hit rate, rate, ETA); the default ``None`` enables it only
+    when stderr is a terminal.  ``profile`` wraps each cell in
+    :mod:`cProfile` and prints its top cumulative-time entries to **stderr**
+    (canonical stdout/JSON output is never touched).  Profiling is
+    serial-local-only: a profile interleaved across worker processes would
+    attribute time to the wrong cells.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if profile and workers != 1:
+    if profile and (workers != 1 or executor != DEFAULT_EXECUTOR):
         raise ValueError(
-            "profile requires workers=1: per-cell profiles from concurrent "
-            "worker processes would interleave and misattribute time"
+            "profile requires workers=1 and the local executor: per-cell "
+            "profiles from concurrent worker processes would interleave and "
+            "misattribute time"
         )
+    # Resolve the executor eagerly so an unknown name fails before any cell
+    # runs — even though it is only *invoked* when cells remain pending.
+    run_executor = get_executor(executor)
     outcomes: Dict[int, Tuple[Dict[str, Any], float]] = {}
+    resume_hits = 0
     if resume_from is not None and os.path.exists(resume_from):
         prior = ResultSet.load(resume_from)
         if prior.base_seed != base_seed:
@@ -121,8 +147,26 @@ def execute_cells(
             hit = have.get(cell_identity_key(cell.params()))
             if hit is not None:
                 outcomes[position] = hit
+        resume_hits = len(outcomes)
+    opened_store = open_store(store)
+    close_store = opened_store is not None and not isinstance(store, CellStore)
+    store_hit_positions = []
+    if opened_store is not None:
+        for position, cell in enumerate(cells):
+            if position in outcomes:
+                continue
+            hit = opened_store.get(cell.params())
+            if hit is not None:
+                outcomes[position] = hit
+                store_hit_positions.append(position)
+    store_hits = len(store_hit_positions)
     pending = [(position, cell) for position, cell in enumerate(cells)
                if position not in outcomes]
+    if resume_from is not None or opened_store is not None:
+        reused = len(outcomes)
+        print(f"reused {reused} cells ({resume_hits} resume, "
+              f"{store_hits} store), executing {len(pending)}",
+              file=sys.stderr)
     writer: Optional[ResultSetWriter] = None
     if jsonl_path is not None:
         continuing = (resume_from is not None
@@ -132,37 +176,54 @@ def execute_cells(
                                  append=continuing)
         if not continuing:
             # A fresh stream file should be complete on its own: carry the
-            # records reused from resume_from over, so the produced JSONL is
-            # loadable/resumable without the prior file.  (When continuing
-            # the same file, they are already in it.)
+            # records reused from resume_from / the store over, so the
+            # produced JSONL is loadable/resumable without them.  (When
+            # continuing the same file, resume hits are already in it —
+            # store hits found beyond it are appended below too.)
             for position in sorted(outcomes):
                 record, wall = outcomes[position]
                 writer.write(record, wall_time_s=wall)
+        else:
+            # Store hits are not in the resumed stream yet: append them so
+            # the stream converges on the full cell set.
+            for position in store_hit_positions:
+                record, wall = outcomes[position]
+                writer.write(record, wall_time_s=wall)
+    reporter = ProgressReporter(total=len(cells), reused=len(outcomes),
+                                enabled=progress)
     try:
         def take(position: int, outcome: Dict[str, Any]) -> None:
+            outcome = dict(outcome)
             wall = outcome.pop("wall_time_s")
             if writer is not None:
                 writer.write(outcome, wall_time_s=wall)
+            if opened_store is not None:
+                opened_store.put(outcome, wall_time_s=wall)
             outcomes[position] = (outcome, wall)
+            reporter.update()
 
-        if workers == 1 or len(pending) <= 1:
-            for position, cell in pending:
-                if profile:
-                    take(position, _run_profiled(run_one, cell))
-                else:
-                    take(position, run_one(cell))
-        elif pending:
-            with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-                # imap_unordered: records hit the JSONL stream the moment each
-                # cell completes, not when its pool slot's turn comes up.
-                for position, outcome in pool.imap_unordered(
-                        partial(_run_positioned, run_one), pending, chunksize=1):
-                    take(position, outcome)
+        if pending:
+            # Zero pending cells start zero workers: the executor is never
+            # invoked, so a fully-reused run costs only the lookups above.
+            wrapped = partial(_run_profiled, run_one) if profile else run_one
+            for position, outcome in run_executor(
+                    pending, wrapped, base_seed, workers,
+                    dict(executor_options or {})):
+                take(position, outcome)
     finally:
+        reporter.finish()
         if writer is not None:
             writer.close()
+        if close_store and opened_store is not None:
+            opened_store.close()
     result = ResultSet(base_seed=base_seed)
     for position in sorted(outcomes):
         record, wall = outcomes[position]
         result.append(record, wall)
+    result.reuse = {
+        "cells": len(cells),
+        "resume_hits": resume_hits,
+        "store_hits": store_hits,
+        "executed": len(pending),
+    }
     return result

@@ -146,6 +146,11 @@ class ResultSet:
         self._records: List[Dict[str, Any]] = []
         self._timings: List[float] = []
         self._order_cache: Optional[List[int]] = None
+        #: Reuse telemetry set by :func:`repro.experiments.execute.execute_cells`
+        #: (``{"cells", "resume_hits", "store_hits", "executed"}``); ``None``
+        #: for result sets built any other way.  Telemetry only — never part
+        #: of the canonical JSON view.
+        self.reuse: Optional[Dict[str, int]] = None
         records = list(records or [])
         if timings is not None and len(timings) != len(records):
             raise ValueError(

@@ -44,7 +44,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core import make_utility, policy_names, utility_names
 from ..registry import NameRegistry
@@ -57,7 +57,10 @@ from ..schemes import (
     scheme_variant_names,
 )
 from .execute import PROFILE_TOP_N, execute_cells
+from .executors import DEFAULT_EXECUTOR as DEFAULT_EXECUTOR_NAME
+from .executors import executor_names
 from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
+from .store import CellStore
 from ..netsim import (
     DEFAULT_BACKEND,
     SYNTHETIC_TRACES,
@@ -617,6 +620,9 @@ def sweep(
     jsonl_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     profile: bool = False,
+    executor: str = DEFAULT_EXECUTOR_NAME,
+    store: Union[str, CellStore, None] = None,
+    progress: Optional[bool] = None,
 ) -> ResultSet:
     """Run every cell of ``grid``, fanning out across ``workers`` processes.
 
@@ -637,14 +643,24 @@ def sweep(
     identities embed their derived seeds, so a mismatch could never match
     anyway — it is reported as the error it is).
 
-    The streaming/resume machinery itself lives in
+    ``executor`` names a registered cell executor (``local`` pool —
+    the default — ``sharded`` independent processes, or ``work-queue``
+    crash-tolerant leases; see :mod:`repro.experiments.executors`); every
+    executor produces byte-identical canonical results.  ``store`` (a
+    directory path or open :class:`~repro.experiments.store.CellStore`)
+    reuses every cell ever computed across runs — store hits skip execution
+    exactly like ``resume_from`` hits — and ``progress`` controls the live
+    progress/ETA line on stderr (default: only when stderr is a terminal).
+
+    The streaming/resume/reuse machinery itself lives in
     :func:`repro.experiments.execute.execute_cells`, shared with the report
     layer's scenario-list specs; ``profile`` (serial-only) prints each cell's
     hottest functions to stderr without touching canonical output.
     """
     return execute_cells(grid.cells(base_seed), run_cell, base_seed,
                          workers=workers, jsonl_path=jsonl_path,
-                         resume_from=resume_from, profile=profile)
+                         resume_from=resume_from, profile=profile,
+                         executor=executor, store=store, progress=progress)
 
 
 # --------------------------------------------------------------------------- #
@@ -728,6 +744,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="skip cells whose identity already appears in "
                              "this result file (a --jsonl stream or a legacy "
                              "--output JSON) and run only the missing ones")
+    parser.add_argument("--executor", default=DEFAULT_EXECUTOR_NAME,
+                        choices=executor_names(),
+                        help="registered cell executor: 'local' in-process "
+                             "pool, 'sharded' independent slice-owning "
+                             "processes, 'work-queue' crash-tolerant leases; "
+                             "canonical output is byte-identical for all")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed cell store directory: cells "
+                             "already stored skip execution (like "
+                             "--resume-from, but across every run ever made "
+                             "with this store), fresh cells are stored back")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live progress/ETA line on stderr "
+                             "(default: only when stderr is a terminal)")
     parser.add_argument("--timing", action="store_true",
                         help="include per-cell wall times in the JSON output")
     parser.add_argument("--profile", action="store_true",
@@ -751,6 +781,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.profile and args.workers != 1:
         parser.error("--profile requires --workers 1 (per-cell profiles from "
                      "concurrent workers would interleave)")
+    if args.profile and args.executor != DEFAULT_EXECUTOR_NAME:
+        parser.error("--profile requires --executor local (profiles from "
+                     "independent worker processes would interleave)")
     schemes = list(args.schemes)
     if args.policy is not None:
         # Expand each plain pcc entry into one spec per requested policy
@@ -823,7 +856,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         result = sweep(grid, base_seed=args.seed, workers=args.workers,
                        jsonl_path=args.jsonl, resume_from=args.resume_from,
-                       profile=args.profile)
+                       profile=args.profile, executor=args.executor,
+                       store=args.store,
+                       progress=True if args.progress else None)
     except ValueError as exc:
         # e.g. resuming from a file produced with a different base seed.
         parser.error(str(exc))

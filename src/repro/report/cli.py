@@ -24,6 +24,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..experiments.execute import PROFILE_TOP_N
+from ..experiments.executors import DEFAULT_EXECUTOR, executor_names
+from ..experiments.store import CellStore
 from ..netsim import DEFAULT_BACKEND, engine_backend_names
 from .render import matrix_drift, render_matrix, render_report
 from .run import SpecOutcome, run_report_spec
@@ -67,6 +69,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="skip cells already recorded in "
                              "<DIR>/<spec>.jsonl files from a prior "
                              "(possibly interrupted) run")
+    parser.add_argument("--executor", default=DEFAULT_EXECUTOR,
+                        choices=executor_names(),
+                        help="registered cell executor every spec runs "
+                             "under; the rendered report is byte-identical "
+                             "for all of them")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed cell store shared by every "
+                             "spec: stored cells skip execution (across "
+                             "runs, sweeps and benchmarks alike), fresh "
+                             "cells are stored back")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live progress/ETA line on stderr "
+                             "(default: only when stderr is a terminal)")
     parser.add_argument("--list", action="store_true",
                         help="list the registered specs with cell counts and "
                              "cost estimates, then exit")
@@ -137,6 +152,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.profile and args.workers != 1:
         parser.error("--profile requires --workers 1 (per-cell profiles from "
                      "concurrent workers would interleave)")
+    if args.profile and args.executor != DEFAULT_EXECUTOR:
+        parser.error("--profile requires --executor local (profiles from "
+                     "independent worker processes would interleave)")
     report_path = args.report
     if report_path is None:
         if args.only is not None:
@@ -158,31 +176,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not restartable:
             parser.error(f"--resume-from: {args.resume_from} is not a "
                          f"directory")
+    # One store instance spans every spec, so the segment scan happens once
+    # and cells computed by an earlier spec in this very run are reusable by
+    # a later one.
+    store = CellStore(args.store) if args.store is not None else None
     outcomes: List[SpecOutcome] = []
-    for spec in specs:
-        jsonl_path = _spec_paths(args.jsonl, spec)
-        resume_path = _spec_paths(args.resume_from, spec)
-        if (resume_path is not None and jsonl_path != resume_path
-                and not os.path.exists(resume_path)):
-            # A missing per-spec file inside an existing resume directory is
-            # normal (the prior run may not have reached this spec yet).
-            resume_path = None
-        try:
-            outcome = run_report_spec(spec, workers=args.workers,
-                                      jsonl_path=jsonl_path,
-                                      resume_from=resume_path,
-                                      backend=args.backend,
-                                      profile=args.profile)
-        except ValueError as exc:
-            # e.g. resuming from a file produced with a different base seed.
-            parser.error(str(exc))
-        outcomes.append(outcome)
-        counts = outcome.status_counts()
-        print(f"{spec.spec_id}: {len(outcome.result)} cells; claims "
-              f"{counts['PASS']} PASS, {counts['DEVIATION']} DEVIATION, "
-              f"{counts['FAIL']} FAIL")
-        for failed in outcome.failed():
-            print(f"  FAIL {failed.claim.claim_id}: {failed.measured}")
+    try:
+        for spec in specs:
+            jsonl_path = _spec_paths(args.jsonl, spec)
+            resume_path = _spec_paths(args.resume_from, spec)
+            if (resume_path is not None and jsonl_path != resume_path
+                    and not os.path.exists(resume_path)):
+                # A missing per-spec file inside an existing resume directory
+                # is normal (the prior run may not have reached this spec
+                # yet).
+                resume_path = None
+            try:
+                outcome = run_report_spec(spec, workers=args.workers,
+                                          jsonl_path=jsonl_path,
+                                          resume_from=resume_path,
+                                          backend=args.backend,
+                                          profile=args.profile,
+                                          executor=args.executor,
+                                          store=store,
+                                          progress=(True if args.progress
+                                                    else None))
+            except ValueError as exc:
+                # e.g. resuming from a file produced with a different base
+                # seed.
+                parser.error(str(exc))
+            outcomes.append(outcome)
+            counts = outcome.status_counts()
+            print(f"{spec.spec_id}: {len(outcome.result)} cells; claims "
+                  f"{counts['PASS']} PASS, {counts['DEVIATION']} DEVIATION, "
+                  f"{counts['FAIL']} FAIL")
+            for failed in outcome.failed():
+                print(f"  FAIL {failed.claim.claim_id}: {failed.measured}")
+    finally:
+        if store is not None:
+            store.close()
     with open(report_path, "w") as handle:
         handle.write(render_report(outcomes))
     print(f"wrote {report_path}")

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Union
 
 from ..experiments.execute import execute_cells
+from ..experiments.executors import DEFAULT_EXECUTOR
 from ..experiments.results import ResultSet
+from ..experiments.store import CellStore
 from ..experiments.sweep import run_cell
 from ..netsim import DEFAULT_BACKEND
 from .spec import (
@@ -99,15 +101,22 @@ def run_report_spec(
     resume_from: Optional[str] = None,
     backend: str = DEFAULT_BACKEND,
     profile: bool = False,
+    executor: str = DEFAULT_EXECUTOR,
+    store: Union[str, CellStore, None] = None,
+    progress: Optional[bool] = None,
 ) -> SpecOutcome:
     """Execute one spec (by id or instance) and evaluate its claims.
 
     ``jsonl_path`` / ``resume_from`` behave exactly as in
     :func:`repro.experiments.sweep.sweep`: records stream to ``jsonl_path``
     as cells complete, and cells whose identity already appears in
-    ``resume_from`` are not re-simulated.  The extracted rows — and therefore
-    the rendered report — are byte-identical for any ``workers`` value and
-    for resumed versus uninterrupted runs.
+    ``resume_from`` are not re-simulated.  ``executor`` names the registered
+    cell executor (``local`` / ``sharded`` / ``work-queue``) and ``store``
+    the cross-run content-addressed cell store — store hits skip execution
+    exactly like resume hits, so a report re-run over a warm store executes
+    zero cells.  The extracted rows — and therefore the rendered report —
+    are byte-identical for any ``workers`` value, any executor, and for
+    resumed versus uninterrupted runs.
 
     ``backend`` selects the engine backend every simulating cell runs under;
     a non-default backend enters each such cell's identity (analytic theorem
@@ -141,7 +150,8 @@ def run_report_spec(
         run_one = _run_scenario_cell
     result = execute_cells(cells, run_one, run.base_seed, workers=workers,
                            jsonl_path=jsonl_path, resume_from=resume_from,
-                           profile=profile)
+                           profile=profile, executor=executor, store=store,
+                           progress=progress)
     rows = spec.rows(result)
     claims = evaluate_claims(spec, rows, result)
     return SpecOutcome(spec=spec, result=result, rows=rows, claims=claims)

@@ -1,0 +1,385 @@
+"""Tests for the pluggable executor registry, dispatch, and reuse layers.
+
+The load-bearing property is the equivalence guarantee: for the same cells
+and base seed, every registered executor — and any worker count — produces
+byte-identical canonical result JSON.  Alongside it: the work-queue's
+crash re-leasing, the zero-pending fast path (no executor invoked at all),
+cross-run store reuse, and the stderr-only telemetry (reuse summary and
+progress line) never touching canonical output.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.experiments.execute import execute_cells
+from repro.experiments.executors import (
+    DEFAULT_EXECUTOR,
+    WORK_QUEUE_LEASE_EXPIRY_S,
+    executor_names,
+    get_executor,
+    register_executor,
+)
+from repro.experiments.progress import ProgressReporter, _format_eta
+from repro.experiments.results import ResultSet
+from repro.experiments.store import CellStore
+from repro.experiments.sweep import SweepGrid
+from repro.experiments.sweep import main as sweep_main
+from repro.experiments.sweep import sweep
+from repro.report.run import run_report_spec
+
+
+class FakeCell:
+    """A picklable cell whose outcome is a pure function of its identity."""
+
+    def __init__(self, index, seed):
+        self.index = index
+        self.seed = seed
+
+    def params(self):
+        return {"index": self.index, "kind": "fake", "seed": self.seed}
+
+
+def run_fake(cell):
+    """Module-level run_one (resolvable from worker processes)."""
+    return {"cell": cell.params(), "value": cell.index * 10 + cell.seed,
+            "wall_time_s": 0.0}
+
+
+class CrashOnceCell(FakeCell):
+    """A cell whose first-ever execution kills the whole worker process.
+
+    The crash is gated by an exclusive-create marker file outside the cell's
+    identity, so exactly one attempt dies and every retry succeeds — the
+    shape of a worker host failing mid-cell.
+    """
+
+    def __init__(self, index, seed, marker_dir, crash=False):
+        super().__init__(index, seed)
+        self.marker_dir = marker_dir
+        self.crash = crash
+
+
+def run_crash_once(cell):
+    if getattr(cell, "crash", False):
+        marker = os.path.join(cell.marker_dir, f"crashed-{cell.index}")
+        try:
+            with open(marker, "x"):
+                pass
+            os._exit(17)  # die like a killed worker: no exception, no cleanup
+        except FileExistsError:
+            pass  # already crashed once; this retry completes normally
+    return run_fake(cell)
+
+
+def fake_cells(count, seed=7):
+    return [FakeCell(index, seed) for index in range(count)]
+
+
+def _boom_executor(pending, run_one, base_seed, workers, options):
+    raise AssertionError("executor must not be invoked with zero pending "
+                         "cells")
+    yield  # pragma: no cover - makes this a generator like real executors
+
+
+# Import-time registration, mirroring how custom executors must register.
+register_executor("test-boom", _boom_executor)
+
+
+class TestRegistry:
+    def test_builtin_executors_registered(self):
+        names = executor_names()
+        for name in ("local", "sharded", "work-queue"):
+            assert name in names
+        assert DEFAULT_EXECUTOR == "local"
+
+    def test_unknown_executor_rejected_with_catalog(self):
+        with pytest.raises(ValueError, match="local"):
+            get_executor("no-such-executor")
+
+    def test_unknown_executor_fails_before_any_cell_runs(self, tmp_path):
+        jsonl = tmp_path / "stream.jsonl"
+        with pytest.raises(ValueError, match="unknown executor"):
+            execute_cells(fake_cells(2), run_fake, base_seed=7,
+                          executor="no-such-executor", jsonl_path=str(jsonl))
+        assert not jsonl.exists()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_executor("local", _boom_executor)
+
+    def test_unknown_executor_options_rejected(self):
+        for name in ("local", "sharded"):
+            with pytest.raises(ValueError, match="unknown"):
+                execute_cells(fake_cells(2), run_fake, base_seed=7,
+                              executor=name,
+                              executor_options={"bogus": 1})
+        with pytest.raises(ValueError, match="lease_expiry_s"):
+            execute_cells(fake_cells(2), run_fake, base_seed=7,
+                          executor="work-queue",
+                          executor_options={"bogus": 1})
+
+
+class TestExecutorEquivalence:
+    def test_all_executors_byte_identical_on_fake_cells(self):
+        """The core guarantee: canonical JSON is a pure function of the
+        cells, not of how they were fanned out."""
+        reference = execute_cells(fake_cells(7), run_fake, base_seed=7)
+        baseline = reference.to_json()
+        for name in executor_names():
+            if name == "test-boom":
+                continue
+            for workers in (1, 3):
+                result = execute_cells(fake_cells(7), run_fake, base_seed=7,
+                                       workers=workers, executor=name)
+                assert result.to_json() == baseline, (name, workers)
+
+    def test_executors_byte_identical_on_a_real_grid(self):
+        """Same guarantee over real simulation cells (the acceptance bar)."""
+        grid = SweepGrid(schemes=("cubic",), bandwidths_bps=(5e6,),
+                         rtts=(0.03,), loss_rates=(0.0, 0.01), duration=1.0)
+        outputs = {
+            name: sweep(grid, base_seed=1, workers=2,
+                        executor=name).to_json()
+            for name in ("local", "sharded", "work-queue")
+        }
+        assert outputs["sharded"] == outputs["local"]
+        assert outputs["work-queue"] == outputs["local"]
+
+    def test_streamed_jsonl_reaches_full_set_for_each_executor(self, tmp_path):
+        for name in ("local", "sharded", "work-queue"):
+            jsonl = tmp_path / f"{name}.jsonl"
+            execute_cells(fake_cells(5), run_fake, base_seed=7, workers=2,
+                          executor=name, jsonl_path=str(jsonl))
+            loaded = ResultSet.load(str(jsonl))
+            assert len(loaded) == 5
+
+
+class TestWorkQueue:
+    def test_crashed_worker_cells_are_re_leased(self, tmp_path, capsys):
+        """A worker dying mid-cell must not lose the cell: its lease expires
+        and a surviving worker re-runs it, so the run completes with the
+        exact same canonical output."""
+        marker_dir = str(tmp_path)
+        cells = [CrashOnceCell(index, 7, marker_dir, crash=(index == 1))
+                 for index in range(6)]
+        result = execute_cells(
+            cells, run_crash_once, base_seed=7, workers=2,
+            executor="work-queue",
+            executor_options={"lease_expiry_s": 0.2, "poll_s": 0.02})
+        assert result.to_json() == execute_cells(
+            fake_cells(6), run_fake, base_seed=7).to_json()
+        assert os.path.exists(os.path.join(marker_dir, "crashed-1"))
+        assert "worker(s) crashed" in capsys.readouterr().err
+
+    def test_lease_expiry_default_is_generous(self):
+        # Re-leasing a *live* worker's cell wastes work; the default must be
+        # much larger than any polling interval.
+        assert WORK_QUEUE_LEASE_EXPIRY_S >= 30.0
+
+
+class TestReuseLayers:
+    def test_zero_pending_skips_the_executor_entirely(self, tmp_path, capsys):
+        """When resume satisfies every cell, no pool/shard/queue worker may
+        start: proven by running under an executor that explodes when
+        invoked."""
+        jsonl = tmp_path / "prior.jsonl"
+        cells = fake_cells(4)
+        execute_cells(cells, run_fake, base_seed=7, jsonl_path=str(jsonl))
+        result = execute_cells(cells, run_fake, base_seed=7,
+                               resume_from=str(jsonl), executor="test-boom")
+        assert len(result) == 4
+        assert result.reuse == {"cells": 4, "resume_hits": 4,
+                                "store_hits": 0, "executed": 0}
+        assert "reused 4 cells (4 resume, 0 store), executing 0" \
+            in capsys.readouterr().err
+
+    def test_store_round_trip_executes_zero_cells(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        cells = fake_cells(5)
+        first = execute_cells(cells, run_fake, base_seed=7, store=store_dir)
+        assert first.reuse == {"cells": 5, "resume_hits": 0,
+                               "store_hits": 0, "executed": 5}
+        second = execute_cells(cells, run_fake, base_seed=7, store=store_dir,
+                               executor="test-boom")
+        assert second.reuse == {"cells": 5, "resume_hits": 0,
+                                "store_hits": 5, "executed": 0}
+        assert second.to_json() == first.to_json()
+        assert "reused 5 cells (0 resume, 5 store), executing 0" \
+            in capsys.readouterr().err
+
+    def test_store_reuse_crosses_cell_subsets(self, tmp_path):
+        """The store is content-addressed, not run-shaped: a different later
+        run reuses exactly the cells it shares with any earlier one."""
+        store_dir = str(tmp_path / "store")
+        execute_cells(fake_cells(3), run_fake, base_seed=7, store=store_dir)
+        result = execute_cells(fake_cells(6), run_fake, base_seed=7,
+                               store=store_dir)
+        assert result.reuse == {"cells": 6, "resume_hits": 0,
+                                "store_hits": 3, "executed": 3}
+
+    def test_open_cellstore_instance_is_not_closed(self, tmp_path):
+        store = CellStore(str(tmp_path / "store"))
+        execute_cells(fake_cells(2), run_fake, base_seed=7, store=store)
+        # Still usable: execute_cells only closes stores it opened itself.
+        assert store.put({"cell": {"index": 99, "kind": "fake", "seed": 7},
+                          "value": 0})
+        store.close()
+
+    def test_resume_and_store_hits_combine(self, tmp_path, capsys):
+        jsonl = tmp_path / "prior.jsonl"
+        store_dir = str(tmp_path / "store")
+        cells = fake_cells(6)
+        execute_cells(cells[:2], run_fake, base_seed=7, jsonl_path=str(jsonl))
+        execute_cells(cells[2:4], run_fake, base_seed=7, store=store_dir)
+        capsys.readouterr()
+        result = execute_cells(cells, run_fake, base_seed=7,
+                               resume_from=str(jsonl), store=store_dir)
+        assert result.reuse == {"cells": 6, "resume_hits": 2,
+                                "store_hits": 2, "executed": 2}
+        assert "reused 4 cells (2 resume, 2 store), executing 2" \
+            in capsys.readouterr().err
+
+    def test_fresh_jsonl_carries_reused_records(self, tmp_path):
+        """A fresh stream file must be complete on its own even when some
+        cells came from the store: it is the next run's resume point."""
+        store_dir = str(tmp_path / "store")
+        cells = fake_cells(4)
+        execute_cells(cells[:2], run_fake, base_seed=7, store=store_dir)
+        jsonl = tmp_path / "fresh.jsonl"
+        execute_cells(cells, run_fake, base_seed=7, store=store_dir,
+                      jsonl_path=str(jsonl))
+        assert len(ResultSet.load(str(jsonl))) == 4
+
+    def test_no_reuse_layers_no_stderr_summary(self, capsys):
+        execute_cells(fake_cells(2), run_fake, base_seed=7)
+        assert "reused" not in capsys.readouterr().err
+
+
+class TestProfileGuard:
+    def test_profile_requires_local_executor(self):
+        with pytest.raises(ValueError, match="local"):
+            execute_cells(fake_cells(2), run_fake, base_seed=7,
+                          profile=True, executor="sharded")
+
+
+class TestCli:
+    BASE = ["--schemes", "cubic", "--bandwidth-mbps", "5",
+            "--loss", "0.0", "--duration", "1", "--seed", "1"]
+
+    def test_sweep_executor_flag_matches_local(self, tmp_path):
+        out_local = tmp_path / "local.json"
+        out_queue = tmp_path / "queue.json"
+        assert sweep_main([*self.BASE, "--output", str(out_local)]) == 0
+        assert sweep_main([*self.BASE, "--executor", "work-queue",
+                           "--workers", "2", "--output", str(out_queue)]) == 0
+        assert out_queue.read_bytes() == out_local.read_bytes()
+
+    def test_sweep_store_flag_second_run_executes_zero(self, tmp_path,
+                                                       capsys):
+        store_dir = str(tmp_path / "store")
+        first_out = tmp_path / "first.json"
+        second_out = tmp_path / "second.json"
+        assert sweep_main([*self.BASE, "--store", store_dir,
+                           "--output", str(first_out)]) == 0
+        capsys.readouterr()
+        assert sweep_main([*self.BASE, "--store", store_dir,
+                           "--output", str(second_out)]) == 0
+        assert "executing 0" in capsys.readouterr().err
+        assert second_out.read_bytes() == first_out.read_bytes()
+
+    def test_sweep_progress_flag_forces_line_on_stderr(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "sweep.json"
+        assert sweep_main([*self.BASE, "--progress",
+                           "--output", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "cells 1/1" in captured.err
+        assert "cells 1/1" not in captured.out
+        # Canonical output is untouched by telemetry.
+        assert json.loads(out.read_text())["base_seed"] == 1
+
+    def test_sweep_profile_rejects_non_local_executor(self, capsys):
+        with pytest.raises(SystemExit):
+            sweep_main([*self.BASE, "--profile",
+                        "--executor", "work-queue"])
+        assert "--executor local" in capsys.readouterr().err
+
+
+class TestReportIntegration:
+    def test_report_spec_store_round_trip(self, tmp_path, capsys):
+        """A report spec re-run over a warm store executes zero cells and
+        renders identically (the cheap analytic spec keeps this fast)."""
+        store_dir = str(tmp_path / "store")
+        first = run_report_spec("theorems", store=store_dir)
+        assert first.result.reuse["executed"] == 4
+        capsys.readouterr()
+        second = run_report_spec("theorems", store=store_dir)
+        assert second.result.reuse == {"cells": 4, "resume_hits": 0,
+                                       "store_hits": 4, "executed": 0}
+        assert "executing 0" in capsys.readouterr().err
+        assert second.result.to_json() == first.result.to_json()
+        assert [c.status for c in second.claims] == \
+            [c.status for c in first.claims]
+
+    def test_report_spec_executor_equivalence(self):
+        local = run_report_spec("theorems", executor="local")
+        sharded = run_report_spec("theorems", workers=2, executor="sharded")
+        assert sharded.result.to_json() == local.result.to_json()
+
+
+class TestProgressReporter:
+    def test_format_eta(self):
+        assert _format_eta(0) == "0:00"
+        assert _format_eta(65) == "1:05"
+        assert _format_eta(3725) == "1:02:05"
+
+    def test_line_shows_counts_hits_rate_and_eta(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=10, reused=4, stream=stream,
+                                    enabled=True)
+        line = reporter.line(reporter._started_s)
+        assert line.startswith("cells 4/10 ( 40%)")
+        assert "reused 4 (40% hit)" in line
+        assert "ETA" not in line  # nothing executed yet -> no rate estimate
+        reporter.done = 7
+        line = reporter.line(reporter._started_s + 6.0)
+        assert "cells 7/10" in line
+        assert "0.5 cells/s" in line
+        assert "ETA 0:06" in line
+
+    def test_line_complete_run_has_no_eta(self):
+        reporter = ProgressReporter(total=4, reused=0,
+                                    stream=io.StringIO(), enabled=True)
+        reporter.done = 4
+        line = reporter.line(reporter._started_s + 2.0)
+        assert "cells 4/4 (100%)" in line
+        assert "ETA" not in line
+
+    def test_zero_total_renders_without_dividing(self):
+        reporter = ProgressReporter(total=0, stream=io.StringIO(),
+                                    enabled=True)
+        assert "cells 0/0 (100%)" in reporter.line(reporter._started_s)
+
+    def test_disabled_writes_nothing(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=3, stream=stream, enabled=False)
+        reporter.update()
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_non_tty_stream_disabled_by_default(self):
+        reporter = ProgressReporter(total=3, stream=io.StringIO())
+        assert reporter.enabled is False
+
+    def test_enabled_renders_in_place_and_finishes_with_newline(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, enabled=True)
+        reporter.update()
+        reporter.finish()
+        value = stream.getvalue()
+        assert value.startswith("\r\x1b[K")
+        assert "cells" in value
+        assert value.endswith("\n")
