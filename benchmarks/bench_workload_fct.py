@@ -1,0 +1,19 @@
+"""FCT vs offered load — web short-flow storms from the workload registry.
+
+Paper §4.4.3 observes PCC's per-flow rate probing pays a short-flow FCT
+penalty against TCP's slow start, while its FCT barely moves with offered
+load (startup-dominated, not queueing-dominated).  Thin wrapper over the
+``fct_load`` report spec (two Poisson web-storm grids at 20% and 60% load);
+regenerate every figure at once with ``python -m repro.report``.
+"""
+
+from conftest import SWEEP_WORKERS, assert_claims, print_spec_table, run_once
+
+from repro.report import run_report_spec
+
+
+def test_workload_fct_vs_load(benchmark):
+    outcome = run_once(benchmark, run_report_spec, "fct_load",
+                       workers=SWEEP_WORKERS)
+    print_spec_table(outcome)
+    assert_claims(outcome)

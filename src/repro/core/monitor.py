@@ -177,6 +177,18 @@ class PerformanceMonitor:
         mi.record_loss()
         self._maybe_complete(mi)
 
+    def record_ecn_mark(self, mi_id: Optional[int]) -> None:
+        """Account an ECN mark to its MI.
+
+        Marks never change :attr:`MonitorIntervalStats.accounted_packets`
+        (the marked packet was acked), so no completion check is needed.
+        """
+        if mi_id is None:
+            return
+        mi = self._active.get(mi_id)
+        if mi is not None:
+            mi.record_ecn_mark()
+
     # ------------------------------------------------------------------ #
     # Completion
     # ------------------------------------------------------------------ #

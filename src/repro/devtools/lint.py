@@ -673,6 +673,50 @@ def _check_kwargs_swallowing_factories(ctx: ModuleContext) -> Iterable[Finding]:
 
 
 # --------------------------------------------------------------------------
+# RPL017 — qdisc factories draw no randomness at construction time.
+
+_RNG_DRAW_METHODS = frozenset({
+    "random", "randint", "randrange", "uniform", "expovariate",
+    "paretovariate", "gauss", "normalvariate", "lognormvariate",
+    "betavariate", "gammavariate", "triangular", "vonmisesvariate",
+    "weibullvariate", "choice", "choices", "sample", "shuffle",
+    "getrandbits", "randbytes",
+})
+
+
+def _check_qdisc_factory_rng(ctx: ModuleContext) -> Iterable[Finding]:
+    functions = _module_functions(ctx)
+    for node in ast.walk(ctx.tree):
+        if (not isinstance(node, ast.Call)
+                or _call_name(node) != "register_qdisc"):
+            continue
+        candidates: List[ast.expr] = list(node.args)
+        candidates.extend(kw.value for kw in node.keywords
+                          if kw.arg is not None)
+        for arg in candidates:
+            fn: Optional[ast.AST] = None
+            if isinstance(arg, ast.Lambda):
+                fn = arg
+            elif isinstance(arg, ast.Name):
+                fn = functions.get(arg.id)
+            if fn is None:
+                continue
+            body = fn.body if isinstance(fn.body, list) else [fn.body]
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in _RNG_DRAW_METHODS):
+                        yield _finding(
+                            ctx, sub, "RPL017",
+                            f"qdisc factory draws randomness "
+                            f"(.{sub.func.attr}()) at construction time; "
+                            f"disciplines are built RNG-free and receive "
+                            f"the engine RNG via attach_rng() after the "
+                            f"link wires them")
+
+
+# --------------------------------------------------------------------------
 # RPL008 — suppression hygiene.
 
 
@@ -783,6 +827,22 @@ reviewed, documented exception to a determinism contract, not an opt-out.
 Malformed directives, unknown codes and reasonless disables are findings
 themselves, and RPL008 cannot be suppressed.""",
     _check_suppression_hygiene)
+
+register_lint_rule(
+    "RPL017", "qdisc-factories-attach-rng",
+    "Qdisc factories must not draw randomness at construction time.",
+    """A queue discipline is constructed by its registered factory before
+the link wires it to a simulator, so at construction time there is no
+engine RNG to draw from -- the shared random.Random arrives afterwards via
+QueueDiscipline.attach_rng().  A factory that draws at build time either
+reaches the process-global RNG (breaking byte-identity across workers and
+resume, the RPL001 failure mode) or seeds a private stream the cell
+identity does not record.  Keep factories pure constructors; random-drop
+decisions belong in enqueue/dequeue paths guarded by the attached rng
+(which raises RuntimeError when missing).  Import-time registration of the
+factory itself is RPL002's job; this rule pins the attach-rng half of the
+qdisc contract.""",
+    _check_qdisc_factory_rng)
 
 
 # --------------------------------------------------------------------------

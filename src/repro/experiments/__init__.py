@@ -37,6 +37,13 @@ from .executors import (
     get_executor,
     register_executor,
 )
+from .workload import (
+    DEFAULT_WORKLOAD,
+    build_workload,
+    register_workload,
+    resolve_workload_kwargs,
+    workload_names,
+)
 
 #: Lazily re-exported from :mod:`.sweep` (PEP 562) so that running the sweep
 #: CLI as ``python -m repro.experiments.sweep`` does not import the module
@@ -115,6 +122,11 @@ __all__ = [
     "executor_names",
     "get_executor",
     "register_executor",
+    "DEFAULT_WORKLOAD",
+    "build_workload",
+    "register_workload",
+    "resolve_workload_kwargs",
+    "workload_names",
     "SweepCell",
     "SweepGrid",
     "derive_seed",

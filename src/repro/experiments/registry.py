@@ -174,6 +174,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             (),
             "analytical fluid-model results; no packet-level scheme involved",
         ),
+        Experiment(
+            "fct_load", "Short-flow FCT vs offered load (web workload)", "4.4.3",
+            "repro.experiments.workload", "benchmarks/bench_workload_fct.py",
+            ("pcc", "cubic"),
+            "Poisson short-flow storms from the workload registry; FCT "
+            "sensitivity to offered load",
+        ),
     ]
 }
 

@@ -27,6 +27,7 @@ from ..netsim import (
     bdp_bytes,
     create_simulator,
     dumbbell,
+    make_qdisc,
     make_synthetic_trace,
     parking_lot,
     poisson_short_flows,
@@ -611,11 +612,16 @@ def aqm_power_scenario(
     seed: int = 1,
     backend: str = DEFAULT_BACKEND,
 ) -> dict:
-    """§4.4.1 / Figure 17: interactive flows under {CoDel, Bufferbloat} x FQ.
+    """§4.4.1 / Figure 17: interactive flows under the AQM/FQ matrix.
 
-    ``aqm`` is ``"codel"`` or ``"bufferbloat"``.  PCC flows use the latency
-    (power-maximising) utility; TCP flows are CUBIC.  Returns per-flow power
-    (delivered bits per second divided by mean RTT) averaged over flows.
+    ``aqm`` is ``"codel"`` or ``"bufferbloat"`` (the paper's two columns,
+    both behind per-flow fair queueing, kept construction-for-construction
+    as they predate the qdisc registry) or any registered queue-discipline
+    name (``red``, ``pie``, ``fq_codel``, ...) resolved via
+    :func:`repro.netsim.make_qdisc` with the scenario's 5 MB buffer.  PCC
+    flows use the latency (power-maximising) utility; TCP flows are CUBIC.
+    Returns per-flow power (delivered bits per second divided by mean RTT)
+    averaged over flows.
     """
     if aqm == "codel":
         queue_factory = lambda: FairQueue(  # noqa: E731
@@ -627,7 +633,10 @@ def aqm_power_scenario(
             child_factory=InfiniteQueue,
         )
     else:
-        raise ValueError("aqm must be 'codel' or 'bufferbloat'")
+        # Registry fallback: the extended Figure 17 matrix (red / pie /
+        # fq_codel / third-party disciplines) flows through the same
+        # scenario without touching this module again.
+        queue_factory = lambda: make_qdisc(aqm, 5_000_000.0)  # noqa: E731
     sim = create_simulator(backend, seed=seed)
     topo = single_bottleneck(
         sim, bandwidth_bps=bandwidth_bps, rtt=rtt,

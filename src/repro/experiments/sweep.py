@@ -63,20 +63,31 @@ from .results import ResultSet, ResultSetWriter, SweepResult, cell_identity_key
 from .store import CellStore
 from ..netsim import (
     DEFAULT_BACKEND,
+    DEFAULT_QDISC,
     SYNTHETIC_TRACES,
-    FlowSpec,
     Path,
+    QueueDiscipline,
     Simulator,
     TraceLinkDynamics,
     bdp_bytes,
     create_simulator,
     engine_backend_names,
+    make_qdisc,
     make_synthetic_trace,
     parking_lot,
+    qdisc_names,
+    resolve_qdisc_kwargs,
     single_bottleneck,
     validate_trace_repeat_period,
 )
 from .runner import run_flows
+from .workload import (
+    DEFAULT_WORKLOAD,
+    build_workload,
+    register_workload,
+    resolve_workload_kwargs,
+    workload_names,
+)
 
 __all__ = [
     "ResultSet",
@@ -88,10 +99,14 @@ __all__ = [
     "derive_seed",
     "register_scheme_variant",
     "register_topology",
+    "register_workload",
     "resolve_scheme_spec",
     "resolve_topology_kwargs",
+    "resolve_workload_kwargs",
+    "build_workload",
     "scheme_variant_names",
     "topology_names",
+    "workload_names",
     "sweep",
     "main",
 ]
@@ -147,6 +162,20 @@ class SweepCell:
     #: Registered engine backend that simulates this cell (see
     #: :func:`repro.netsim.register_engine_backend`).
     backend: str = DEFAULT_BACKEND
+    #: Registered queue discipline on the cell's bottleneck link(s) (see
+    #: :func:`repro.netsim.register_qdisc`).  Part of the identity when
+    #: non-default; access links keep their plain drop-tail queues.
+    qdisc: str = DEFAULT_QDISC
+    #: Extra JSON-serializable arguments for the qdisc factory
+    #: (e.g. ``{"ecn": True}`` for codel/red/pie).
+    qdisc_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Registered workload generator emitting this cell's flow schedule (see
+    #: :func:`repro.experiments.register_workload`).  Part of the identity
+    #: when non-default.
+    workload: str = DEFAULT_WORKLOAD
+    #: Extra JSON-serializable arguments for the workload builder
+    #: (e.g. ``{"load": 0.7}`` for poisson/web storms).
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def resolved_scheme_kwargs(self) -> Dict[str, Any]:
         """Controller kwargs this cell's scheme spec + utility resolve to.
@@ -204,7 +233,32 @@ class SweepCell:
         # packet-backend archive.
         if self.backend != DEFAULT_BACKEND:
             out["backend"] = self.backend
+        # Same rule for the queue discipline and the workload: recorded only
+        # when non-default, fully resolved (defaults merged in) so archived
+        # cells keep their meaning even if a factory default changes later.
+        if self.qdisc != DEFAULT_QDISC or self.qdisc_kwargs:
+            out["qdisc"] = self.qdisc
+            out["qdisc_kwargs"] = resolve_qdisc_kwargs(
+                self.qdisc, dict(self.qdisc_kwargs))
+        if self.workload != DEFAULT_WORKLOAD or self.workload_kwargs:
+            out["workload"] = self.workload
+            out["workload_kwargs"] = resolve_workload_kwargs(
+                self.workload, dict(self.workload_kwargs))
         return out
+
+    def queue_factory(self) -> Optional[Callable[[], QueueDiscipline]]:
+        """Bottleneck queue factory for this cell, or ``None`` for the
+        default.
+
+        Returning ``None`` on the default path (plain drop-tail, no kwargs)
+        lets topology builders keep their pre-registry construction exactly,
+        so archived default sweeps stay byte-identical.
+        """
+        if self.qdisc == DEFAULT_QDISC and not self.qdisc_kwargs:
+            return None
+        buffer_bytes = self.resolved_buffer_bytes()
+        return lambda: make_qdisc(self.qdisc, buffer_bytes,
+                                  **self.qdisc_kwargs)
 
 
 # --------------------------------------------------------------------------- #
@@ -292,6 +346,7 @@ def _build_single_bottleneck(sim: Simulator, cell: SweepCell) -> List[Path]:
         buffer_bytes=cell.resolved_buffer_bytes(),
         loss_rate=cell.loss_rate,
         reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
+        queue_factory=cell.queue_factory(),
     )
     return [topo.path]
 
@@ -342,6 +397,7 @@ def _build_parking_lot(sim: Simulator, cell: SweepCell) -> List[Path]:
         buffer_bytes=cell.resolved_buffer_bytes(),
         loss_rate=cell.loss_rate,
         access_delay=access_delay,
+        queue_factory=cell.queue_factory(),
     )
     return topo.paths
 
@@ -365,6 +421,7 @@ def _build_trace_bottleneck(sim: Simulator, cell: SweepCell) -> List[Path]:
         buffer_bytes=cell.resolved_buffer_bytes(),
         loss_rate=cell.loss_rate,
         reverse_loss_rate=cell.loss_rate if cell.reverse_loss else None,
+        queue_factory=cell.queue_factory(),
     )
     trace = make_synthetic_trace(
         trace_name, peak_bps=cell.bandwidth_bps, duration=cell.duration,
@@ -439,6 +496,18 @@ class SweepGrid:
     #: :func:`repro.netsim.register_engine_backend`).  Part of the cell
     #: identity when non-default.
     backend: str = DEFAULT_BACKEND
+    #: Registered queue discipline on every cell's bottleneck link(s) (see
+    #: :func:`repro.netsim.register_qdisc`).  Part of the cell identity when
+    #: non-default.
+    qdisc: str = DEFAULT_QDISC
+    #: JSON-serializable arguments for the qdisc factory.
+    qdisc_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Registered workload generator shared by every cell (see
+    #: :func:`repro.experiments.register_workload`).  Part of the cell
+    #: identity when non-default.
+    workload: str = DEFAULT_WORKLOAD
+    #: JSON-serializable arguments for the workload builder.
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.schemes:
@@ -473,6 +542,18 @@ class SweepGrid:
                 "controller_kwargs cannot set ['backend']; pass it as the "
                 "grid's backend field so the cell identity records it"
             )
+        smuggled = {"qdisc", "workload"} & set(self.controller_kwargs)
+        if smuggled:
+            # Same rule: queue discipline and workload are cell identity
+            # (when non-default), never controller knobs.
+            raise ValueError(
+                f"controller_kwargs cannot set {sorted(smuggled)}; pass them "
+                f"as the grid's qdisc/workload fields so the cell identity "
+                f"records them"
+            )
+        # Fail fast on unknown qdisc/workload names or undeclared kwargs.
+        resolve_qdisc_kwargs(self.qdisc, dict(self.qdisc_kwargs))
+        resolve_workload_kwargs(self.workload, dict(self.workload_kwargs))
         # Fail fast on unknown backend names (mirrors the topology check
         # below: mid-sweep worker failures are far harder to diagnose).
         create_simulator(self.backend, seed=0)
@@ -555,6 +636,10 @@ class SweepGrid:
                     topology_kwargs=dict(resolved_kwargs),
                     utility=utility,
                     backend=self.backend,
+                    qdisc=self.qdisc,
+                    qdisc_kwargs=dict(self.qdisc_kwargs),
+                    workload=self.workload,
+                    workload_kwargs=dict(self.workload_kwargs),
                 )
             )
         return out
@@ -584,16 +669,12 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     if cell.utility is not None:
         extra_kwargs["utility"] = cell.utility
     scheme_kwargs = {**extra_kwargs, **cell.controller_kwargs}
-    specs = [
-        FlowSpec(
-            scheme=cell.scheme,
-            start_time=i * cell.stagger,
-            path_index=i,
-            label=f"{cell.scheme}-{i}",
-            controller_kwargs=dict(scheme_kwargs),
-        )
-        for i in range(cell.num_flows)
-    ]
+    # The registered workload emits the flow schedule (the default "bulk"
+    # reproduces the classic staggered long flows byte for byte); the cell's
+    # scheme kwargs layer *under* any per-flow overrides the builder set.
+    specs = build_workload(cell)
+    for spec in specs:
+        spec.controller_kwargs = {**scheme_kwargs, **spec.controller_kwargs}
     result = run_flows(sim, paths, specs, duration=cell.duration)
     wall = time.perf_counter() - start  # repro-lint: disable=RPL001 wall-time telemetry
     engine: Dict[str, Any] = {
@@ -716,6 +797,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=engine_backend_names(),
                         help="engine backend shared by every cell; recorded "
                              "in each cell's identity when non-default")
+    parser.add_argument("--qdisc", default=DEFAULT_QDISC,
+                        choices=qdisc_names(),
+                        help="registered queue discipline on every cell's "
+                             "bottleneck link(s); recorded in each cell's "
+                             "identity when non-default")
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD,
+                        choices=workload_names(),
+                        help="registered workload generator emitting each "
+                             "cell's flow schedule; recorded in each cell's "
+                             "identity when non-default")
     parser.add_argument("--hops", type=int, default=None,
                         help="parking_lot only: number of bottleneck hops "
                              "(flows cycle over the long path then one cross "
@@ -837,6 +928,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             topology=args.topology,
             topology_kwargs=topology_kwargs,
             backend=args.backend,
+            qdisc=args.qdisc,
+            workload=args.workload,
         )
     except ValueError as exc:
         # Mis-combined axes (e.g. a utilities axis over a TCP scheme) carry

@@ -24,6 +24,15 @@ from .queues import (
     InfiniteQueue,
     QueueDiscipline,
 )
+from .qdisc import (
+    DEFAULT_QDISC,
+    PIEQueue,
+    REDQueue,
+    make_qdisc,
+    qdisc_names,
+    register_qdisc,
+    resolve_qdisc_kwargs,
+)
 from .link import Link
 from .route import Path, Route
 from .stats import BinnedSeries, FlowStats, RTTEstimator, SequenceTracker
@@ -74,6 +83,13 @@ __all__ = [
     "FairQueue",
     "InfiniteQueue",
     "QueueDiscipline",
+    "DEFAULT_QDISC",
+    "PIEQueue",
+    "REDQueue",
+    "make_qdisc",
+    "qdisc_names",
+    "register_qdisc",
+    "resolve_qdisc_kwargs",
     "Link",
     "Path",
     "Route",

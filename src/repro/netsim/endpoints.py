@@ -313,6 +313,12 @@ class SenderBase:
                 self._ack_clock_time = ack_recv_time
         try:
             self._on_ack(record, rtt_sample, newly_acked)
+            if ack.ecn_echo and record is not None:
+                # The acked packet crossed a congested AQM that marked it
+                # instead of dropping it; surface the congestion signal to
+                # the scheme's response hook.  Delivery accounting already
+                # happened above — an ECN mark is never a loss.
+                self._on_ecn(record)
             for lost_record in lost:
                 self._on_loss(lost_record)
             self._check_completion()
@@ -422,6 +428,13 @@ class SenderBase:
     def _on_timeout(self, expired: list[SentPacketRecord]) -> None:
         raise NotImplementedError
 
+    def _on_ecn(self, record: SentPacketRecord) -> None:
+        """Congestion signal: the acked packet was ECN-marked by an AQM.
+
+        Default is to ignore the signal (schemes predating ECN keep their
+        exact behavior); ECN-aware senders override.
+        """
+
     def _after_ack_processing(self) -> None:
         """Called after every ACK once controller state is updated."""
 
@@ -527,6 +540,15 @@ class WindowedSender(SenderBase):
         self._recovery_exit_packet_id = self._next_packet_id
         self.controller.on_timeout(self.sim.now)
         self.stats.record_rate(self.sim.now, self._pacing_rate_bps())
+
+    def _on_ecn(self, record) -> None:
+        # RFC 3168: an ECN echo triggers the same multiplicative decrease as
+        # a loss — once per window of data — but the marked packet was
+        # delivered, so nothing is retransmitted.
+        if self._recovery_exit_packet_id < 0:
+            self._recovery_exit_packet_id = self._next_packet_id
+            self.controller.on_loss(self.sim.now)
+            self.stats.record_rate(self.sim.now, self._pacing_rate_bps())
 
     def _after_ack_processing(self) -> None:
         self.stats.record_rate(self.sim.now, self._pacing_rate_bps())
@@ -675,6 +697,13 @@ class RateBasedSender(SenderBase):
 
     def _on_loss(self, record) -> None:
         self.controller.on_loss(record, self.sim.now)
+
+    def _on_ecn(self, record) -> None:
+        # Rate-based schemes see ECN only if their controller opts in (PCC
+        # folds marks into its monitor-interval loss term); schemes without
+        # an on_ecn hook keep their exact pre-ECN behavior.
+        if hasattr(self.controller, "on_ecn"):
+            self.controller.on_ecn(record, self.sim.now)
 
     def _on_timeout(self, expired) -> None:
         if hasattr(self.controller, "on_timeout"):

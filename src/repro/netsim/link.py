@@ -25,7 +25,7 @@ from typing import Callable, List, Optional
 from ..units import BITS_PER_BYTE, BPS_PER_MBPS, MS_PER_S, Bps, Seconds
 from .engine import Event, Simulator
 from .packet import Packet
-from .queues import DropTailQueue, InfiniteQueue, QueueDiscipline
+from .queues import DropTailQueue, QueueDiscipline
 
 __all__ = ["Link", "LinkStats"]
 
@@ -129,6 +129,11 @@ class Link:
         self.loss_rate = float(loss_rate)
         self.queue = queue if queue is not None else DropTailQueue(1_000_000)
         self.queue.on_drop = self._record_queue_drop
+        # Randomized disciplines (RED, PIE, random drop policy) draw from the
+        # simulator RNG; attaching it here — never at construction — is what
+        # keeps queue building free of RNG side effects (the attach-rng
+        # pattern, lint rule RPL017).
+        self.queue.attach_rng(sim.rng)
         self.name = name
         self.stats = LinkStats()
         #: Absolute simulated time at which the current serialization ends.
@@ -153,8 +158,8 @@ class Link:
         #: backend's exact per-serialization draws.
         self._fluid: Optional[_FluidLinkState] = None
         fluid_config = getattr(sim, "fluid_config", None)
-        if fluid_config is not None and isinstance(
-                self.queue, (DropTailQueue, InfiniteQueue)):
+        if fluid_config is not None and getattr(self.queue, "fluid_eligible",
+                                                False):
             self._fluid = _FluidLinkState(fluid_config.quiescence_window_s,
                                           fluid_config.batch_window_s)
 

@@ -51,6 +51,8 @@ class Packet:
         "is_retransmission",
         "is_probe",
         "virtual_time",
+        "ecn_marked",
+        "ecn_echo",
     )
 
     def __init__(
@@ -84,6 +86,11 @@ class Packet:
         self.is_retransmission = is_retransmission
         # Probe packets (e.g. PCP packet trains) carry no application data.
         self.is_probe = is_probe
+        # ECN: a congested AQM sets ``ecn_marked`` on a data packet instead
+        # of dropping it; the receiver echoes the mark back on the ACK via
+        # ``ecn_echo`` so the sender's congestion response can react.
+        self.ecn_marked = False
+        self.ecn_echo = False
         # Analytic timestamp used by the hybrid engine backend: the exact
         # (unbatched) time this packet was sent or delivered.  Negative means
         # "no virtual time": the packet lives purely on the event clock.
@@ -111,6 +118,9 @@ class Packet:
         ack.acked_data_seq = self.data_seq
         ack.ack_sent_time = self.sent_time
         ack.is_probe = self.is_probe
+        # Echo a congestion-experienced mark back to the sender (RFC 3168's
+        # ECE signal, collapsed to a per-ACK boolean).
+        ack.ecn_echo = self.ecn_marked
         # The ACK leaves at the data packet's analytic arrival time when the
         # data packet travelled in fluid mode (batched delivery means ``now``
         # may be up to one batch window later than that).

@@ -14,10 +14,30 @@ Each discipline implements the small :class:`QueueDiscipline` interface used by
 ``dequeue`` returns the next packet to serialize (or ``None`` when empty).
 Byte/packet occupancy book-keeping is shared in the base class so that the
 capacity invariants hold for every discipline.
+
+Further disciplines (RED, PIE, FQ-CoDel, head/random drop-policy variants)
+and the name registry that selects them from cell-identity JSON live in
+:mod:`repro.netsim.qdisc`.
+
+Two cross-cutting conventions every discipline follows:
+
+* **attach-rng**: disciplines whose drop decisions are randomized (RED, PIE,
+  random drop policy) are constructed *without* an RNG and receive one via
+  :meth:`QueueDiscipline.attach_rng` afterwards — links attach ``sim.rng``
+  automatically.  Factories must never draw from the simulator RNG at
+  construction time (lint rule RPL017), so building a queue never perturbs
+  the deterministic event stream.
+* **ECN**: disciplines built with ``ecn=True`` mark packets
+  (:meth:`QueueDiscipline._mark`) instead of dropping them when the *AQM*
+  decides to signal congestion; genuine buffer-overflow drops still drop.
+  The mark travels to the receiver, is echoed on the ACK
+  (``Packet.ecn_echo``), and senders react via their congestion-response
+  hooks (see :mod:`repro.netsim.endpoints`).
 """
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Optional
 
@@ -33,11 +53,15 @@ __all__ = [
     "QueueStats",
 ]
 
+#: Valid ``drop_policy`` values for :class:`DropTailQueue`.
+DROP_POLICIES = ("tail", "head", "random")
+
 
 class QueueStats:
     """Counters shared by all queue disciplines."""
 
-    __slots__ = ("enqueued", "dequeued", "dropped", "dropped_bytes", "enqueued_bytes")
+    __slots__ = ("enqueued", "dequeued", "dropped", "dropped_bytes",
+                 "enqueued_bytes", "marked")
 
     def __init__(self) -> None:
         self.enqueued = 0
@@ -45,6 +69,9 @@ class QueueStats:
         self.dropped = 0
         self.dropped_bytes = 0
         self.enqueued_bytes = 0
+        #: Packets ECN-marked instead of dropped (congestion signals that
+        #: stayed in the queue and were eventually delivered).
+        self.marked = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -66,6 +93,26 @@ class QueueDiscipline:
         self.packets_queued = 0
         #: Optional hook invoked with every dropped packet (used by per-flow stats).
         self.on_drop: Optional[Callable[[Packet], None]] = None
+        #: Whether the hybrid backend's fluid mode may serve this queue
+        #: analytically.  Only the plain tail-drop FIFO (and the infinite
+        #: queue) have the closed-form service the fluid recurrence assumes;
+        #: AQM, fair-queueing, ECN-marking and head/random drop-policy
+        #: disciplines must stay packet-exact, so the default is ``False``
+        #: and eligible FIFOs opt in explicitly.
+        self.fluid_eligible = False
+        #: Seeded RNG for randomized drop decisions; ``None`` until
+        #: :meth:`attach_rng` is called (links attach ``sim.rng``).
+        self.rng: Optional[random.Random] = None
+
+    def attach_rng(self, rng: random.Random) -> None:
+        """Attach the seeded RNG randomized disciplines draw from.
+
+        Construction must never consume simulator randomness (the attach-rng
+        pattern, pinned by lint rule RPL017); the link attaches ``sim.rng``
+        right after wiring the queue, so drop decisions share the simulator's
+        deterministic stream.
+        """
+        self.rng = rng
 
     # -- required interface ------------------------------------------------
     def enqueue(self, packet: Packet, now: float) -> bool:
@@ -104,26 +151,80 @@ class QueueDiscipline:
             self.on_drop(packet)
         return False
 
+    def _mark(self, packet: Packet) -> None:
+        """ECN-mark ``packet`` instead of dropping it (congestion signal)."""
+        packet.ecn_marked = True
+        self.stats.marked += 1
+
 
 class DropTailQueue(QueueDiscipline):
     """Classic FIFO with a byte-capacity limit; arrivals that do not fit are dropped.
 
     ``capacity_bytes`` models the router buffer size that the paper sweeps from a
     single packet (1.5 KB) up to one bandwidth-delay product or 1 MB.
+
+    ``drop_policy`` selects who dies on overflow: ``"tail"`` (the classic —
+    the arriving packet), ``"head"`` (oldest queued packets are evicted until
+    the arrival fits, favouring fresh information), or ``"random"`` (uniform
+    random victims, which de-synchronizes loss across flows; needs an
+    attached RNG).  ``ecn_threshold_bytes`` optionally marks arrivals once
+    occupancy exceeds the threshold (DCTCP-style mark-on-threshold) — drops
+    above capacity still drop.  Only the plain tail-drop configuration is
+    eligible for the hybrid backend's fluid mode.
     """
 
-    def __init__(self, capacity_bytes: Bytes):
+    def __init__(self, capacity_bytes: Bytes, drop_policy: str = "tail",
+                 ecn_threshold_bytes: Optional[Bytes] = None):
         super().__init__()
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
+        if drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"unknown drop_policy {drop_policy!r}; expected one of "
+                f"{DROP_POLICIES}"
+            )
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes <= 0:
+            raise ValueError("ecn_threshold_bytes must be positive")
         self.capacity_bytes = capacity_bytes
+        self.drop_policy = drop_policy
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.fluid_eligible = (drop_policy == "tail"
+                               and ecn_threshold_bytes is None)
         self._fifo: Deque[Packet] = deque()
+
+    def _evict_victims(self, needed_bytes: float) -> bool:
+        """Drop head/random victims until ``needed_bytes`` fit; ``False`` if
+        the arrival could never fit even in an empty buffer."""
+        if needed_bytes > self.capacity_bytes:
+            return False
+        while self.bytes_queued + needed_bytes > self.capacity_bytes:
+            if self.drop_policy == "head":
+                victim = self._fifo.popleft()
+            else:
+                if self.rng is None:
+                    raise RuntimeError(
+                        "drop_policy='random' draws victims from an attached "
+                        "RNG; call attach_rng(rng) after construction (links "
+                        "attach sim.rng automatically)"
+                    )
+                index = self.rng.randrange(len(self._fifo))
+                victim = self._fifo[index]
+                del self._fifo[index]
+            self.bytes_queued -= victim.size_bytes
+            self.packets_queued -= 1
+            self._drop(victim)
+        return True
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         if self.bytes_queued + packet.size_bytes > self.capacity_bytes:
-            return self._drop(packet)
+            if self.drop_policy == "tail" or not self._evict_victims(
+                    packet.size_bytes):
+                return self._drop(packet)
         self._admit(packet, now)
         self._fifo.append(packet)
+        if (self.ecn_threshold_bytes is not None
+                and self.bytes_queued > self.ecn_threshold_bytes):
+            self._mark(packet)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -137,6 +238,7 @@ class InfiniteQueue(QueueDiscipline):
 
     def __init__(self) -> None:
         super().__init__()
+        self.fluid_eligible = True
         self._fifo: Deque[Packet] = deque()
 
     def enqueue(self, packet: Packet, now: float) -> bool:
@@ -160,6 +262,9 @@ class CoDelQueue(QueueDiscipline):
     (``interval / sqrt(drop_count)``) until sojourn time falls below target.
 
     A byte capacity is still enforced (real CoDel runs over a finite buffer).
+    With ``ecn=True`` the control law runs unchanged but marks packets
+    instead of dropping them (RFC 8289 §3): the marked packet is delivered,
+    carrying the congestion signal to the sender via the ACK echo.
     """
 
     def __init__(
@@ -167,11 +272,13 @@ class CoDelQueue(QueueDiscipline):
         capacity_bytes: Bytes = 10_000_000.0,
         target: Seconds = 0.005,
         interval: Seconds = 0.100,
+        ecn: bool = False,
     ):
         super().__init__()
         self.capacity_bytes = capacity_bytes
         self.target = target
         self.interval = interval
+        self.ecn = ecn
         self._fifo: Deque[Packet] = deque()
         # CoDel state machine.
         self._first_above_time = 0.0
@@ -210,13 +317,15 @@ class CoDelQueue(QueueDiscipline):
                     self._dropping = False
                     return packet
                 if now >= self._drop_next:
-                    self._drop(packet)
                     self._drop_count += 1
                     self._drop_next = self._control_law(self._drop_next)
+                    if self.ecn:
+                        self._mark(packet)
+                        return packet
+                    self._drop(packet)
                     continue
                 return packet
             if ok_to_drop:
-                self._drop(packet)
                 self._dropping = True
                 delta = self._drop_count - self._last_drop_count
                 if delta > 1 and now - self._drop_next < 16 * self.interval:
@@ -225,6 +334,10 @@ class CoDelQueue(QueueDiscipline):
                     self._drop_count = 1
                 self._drop_next = self._control_law(now)
                 self._last_drop_count = self._drop_count
+                if self.ecn:
+                    self._mark(packet)
+                    return packet
+                self._drop(packet)
                 continue
             return packet
         return None
@@ -256,11 +369,19 @@ class FairQueue(QueueDiscipline):
         self._active: Deque[int] = deque()
         self._active_set: set[int] = set()
 
+    def attach_rng(self, rng: random.Random) -> None:
+        """Attach the RNG and propagate it to every (current and future) child."""
+        self.rng = rng
+        for child in self._flows.values():  # repro-lint: disable=RPL003 attaching one shared reference; order cannot be observed
+            child.attach_rng(rng)
+
     def _child(self, flow_id: int) -> QueueDiscipline:
         child = self._flows.get(flow_id)
         if child is None:
             child = self._child_factory()
             child.on_drop = self._child_drop
+            if self.rng is not None:
+                child.attach_rng(self.rng)
             self._flows[flow_id] = child
             self._deficits[flow_id] = 0.0
         return child
@@ -277,15 +398,27 @@ class FairQueue(QueueDiscipline):
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         child = self._child(packet.flow_id)
-        # Admit into aggregate book-keeping first so the child drop hook can
-        # roll it back symmetrically if the child rejects or later AQM-drops it.
+        # Admit into aggregate book-keeping first.  Child disciplines own
+        # their drop accounting: every packet a child rejects or AQM-drops
+        # must pass through the child's own ``_drop``, whose ``on_drop`` hook
+        # (wired to ``_child_drop``) is the single path that rolls the
+        # aggregate occupancy back and surfaces the drop to the parent's
+        # hook.  The parent never accounts a child drop itself — that would
+        # double-count — and a child that rejects without invoking its hook
+        # violates the contract, which is enforced below rather than papered
+        # over.
+        expected = (self.bytes_queued, self.packets_queued)
         self.bytes_queued += packet.size_bytes
         self.packets_queued += 1
         accepted = child.enqueue(packet, now)
         if not accepted:
-            # Child already invoked the drop hook? DropTail/CoDel call their own
-            # _drop which triggers _child_drop; guard against double counting by
-            # checking whether occupancy was rolled back.
+            if (self.bytes_queued, self.packets_queued) != expected:
+                raise RuntimeError(
+                    "child discipline rejected a packet without routing it "
+                    "through its drop hook; child disciplines own their drop "
+                    "accounting (call QueueDiscipline._drop for every "
+                    "rejected packet)"
+                )
             return False
         self.stats.enqueued += 1
         self.stats.enqueued_bytes += packet.size_bytes

@@ -26,7 +26,13 @@ from typing import List, Optional, Sequence
 from ..experiments.execute import PROFILE_TOP_N
 from ..experiments.executors import DEFAULT_EXECUTOR, executor_names
 from ..experiments.store import CellStore
-from ..netsim import DEFAULT_BACKEND, engine_backend_names
+from ..experiments.workload import DEFAULT_WORKLOAD, workload_names
+from ..netsim import (
+    DEFAULT_BACKEND,
+    DEFAULT_QDISC,
+    engine_backend_names,
+    qdisc_names,
+)
 from .render import matrix_drift, render_matrix, render_report
 from .run import SpecOutcome, run_report_spec
 from .spec import ReportSpec, list_report_specs, report_spec_ids
@@ -50,6 +56,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=engine_backend_names(),
                         help="engine backend every simulating cell runs "
                              "under; recorded in cell identities when "
+                             "non-default")
+    parser.add_argument("--qdisc", default=DEFAULT_QDISC,
+                        choices=qdisc_names(),
+                        help="queue discipline every grid cell's bottleneck "
+                             "runs (scenario cells fix their own queueing); "
+                             "recorded in cell identities when non-default")
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD,
+                        choices=workload_names(),
+                        help="workload generator emitting every grid cell's "
+                             "flow schedule (scenario cells fix their own "
+                             "traffic); recorded in cell identities when "
                              "non-default")
     parser.add_argument("--profile", action="store_true",
                         help="profile each cell with cProfile and print the "
@@ -196,6 +213,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                           jsonl_path=jsonl_path,
                                           resume_from=resume_path,
                                           backend=args.backend,
+                                          qdisc=args.qdisc,
+                                          workload=args.workload,
                                           profile=args.profile,
                                           executor=args.executor,
                                           store=store,

@@ -19,7 +19,8 @@ from ..experiments.executors import DEFAULT_EXECUTOR
 from ..experiments.results import ResultSet
 from ..experiments.store import CellStore
 from ..experiments.sweep import run_cell
-from ..netsim import DEFAULT_BACKEND
+from ..experiments.workload import DEFAULT_WORKLOAD
+from ..netsim import DEFAULT_BACKEND, DEFAULT_QDISC
 from .spec import (
     ClaimResult,
     GridRun,
@@ -104,6 +105,8 @@ def run_report_spec(
     executor: str = DEFAULT_EXECUTOR,
     store: Union[str, CellStore, None] = None,
     progress: Optional[bool] = None,
+    qdisc: str = DEFAULT_QDISC,
+    workload: str = DEFAULT_WORKLOAD,
 ) -> SpecOutcome:
     """Execute one spec (by id or instance) and evaluate its claims.
 
@@ -120,18 +123,29 @@ def run_report_spec(
 
     ``backend`` selects the engine backend every simulating cell runs under;
     a non-default backend enters each such cell's identity (analytic theorem
-    cells never simulate and keep one identity across backends).  ``profile``
-    prints each cell's hottest functions to stderr (serial only; see
-    :func:`repro.experiments.execute.execute_cells`).
+    cells never simulate and keep one identity across backends).  ``qdisc``
+    and ``workload`` likewise override the bottleneck queue discipline and
+    the flow-schedule generator of every *grid* cell — scenario cells fix
+    their queueing/traffic as part of what they reproduce and are left
+    untouched.  ``profile`` prints each cell's hottest functions to stderr
+    (serial only; see :func:`repro.experiments.execute.execute_cells`).
     """
     if isinstance(spec, str):
         spec = get_report_spec(spec)
     run = spec.run
     if isinstance(run, GridRun):
+        # A default qdisc/workload argument must not clobber a grid that
+        # fixes its own non-default value (the FCT-vs-load spec pins a web
+        # workload); only an explicit override replaces it.
+        overrides: Dict[str, Any] = {"backend": backend}
+        if qdisc != DEFAULT_QDISC:
+            overrides["qdisc"] = qdisc
+        if workload != DEFAULT_WORKLOAD:
+            overrides["workload"] = workload
         cells: List[Any] = [
             cell
             for grid in run.grids
-            for cell in dataclasses.replace(grid, backend=backend)
+            for cell in dataclasses.replace(grid, **overrides)
             .cells(run.base_seed)
         ]
         run_one = run_cell

@@ -246,6 +246,46 @@ class TestRPL007:
 
 
 # --------------------------------------------------------------------------
+# RPL017 — qdisc factories must not draw randomness at construction
+
+
+class TestRPL017:
+    def test_factory_drawing_rng_triggers(self):
+        snippet = (
+            "import random\n\n"
+            "def make_jitter(buffer_bytes):\n"
+            "    queue = DropTailQueue(buffer_bytes)\n"
+            "    queue.threshold = random.Random(1).uniform(0.1, 0.9)\n"
+            "    return queue\n\n"
+            "register_qdisc('jitter', make_jitter)\n"
+        )
+        assert "RPL017" in codes_for(snippet)
+
+    def test_lambda_factory_drawing_triggers(self):
+        snippet = (
+            "register_qdisc('noisy', lambda buffer_bytes: "
+            "NoisyQueue(buffer_bytes, rng.random()))\n"
+        )
+        assert "RPL017" in codes_for(snippet)
+
+    def test_pure_constructor_factory_is_clean(self):
+        snippet = (
+            "def make_red(buffer_bytes, ecn=False):\n"
+            "    return REDQueue(buffer_bytes, ecn=ecn)\n\n"
+            "register_qdisc('red2', make_red,"
+            " kwarg_defaults={'ecn': False})\n"
+        )
+        assert codes_for(snippet) == []
+
+    def test_drawing_outside_register_qdisc_is_not_this_rules_business(self):
+        snippet = (
+            "def helper(rng):\n"
+            "    return rng.random()\n"
+        )
+        assert "RPL017" not in codes_for(snippet)
+
+
+# --------------------------------------------------------------------------
 # RPL008 + suppression mechanics
 
 
@@ -375,6 +415,7 @@ class TestSelfCheck:
 @pytest.mark.parametrize("code", [
     "RPL001", "RPL002", "RPL003", "RPL004",
     "RPL005", "RPL006", "RPL007", "RPL008",
+    "RPL017",
 ])
 def test_all_shipped_codes_are_registered(code):
     assert code in lint_rule_names()

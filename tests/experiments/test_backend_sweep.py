@@ -123,7 +123,7 @@ class TestForcedFallbackByteIdentity:
 #: Hybrid-vs-packet agreement bounds for the mini fig6/fig7 cells below.
 #: Loose by design: batched fluid delivery legitimately realigns RNG streams
 #: and ack timing, so per-cell metrics wander a few percent; the strict
-#: equivalence gate is the claim ledger (same 44 verdicts), not any one cell.
+#: equivalence gate is the claim ledger (same verdicts), not any one cell.
 GOODPUT_RTOL = 0.25
 RTT_RTOL = 0.30
 

@@ -12,6 +12,8 @@ from repro.netsim import (
     Simulator,
     create_simulator,
     engine_backend_names,
+    make_qdisc,
+    qdisc_names,
     register_engine_backend,
     single_bottleneck,
 )
@@ -100,3 +102,64 @@ class TestForcedFallbackEquivalence:
         packet_goodput = packet_flow.goodput_bps(10.0)
         assert (abs(hybrid_flow.goodput_bps(10.0) - packet_goodput)
                 <= 0.05 * packet_goodput)
+
+
+class TestFluidEligibilityGuard:
+    """Quiescence-rule extension for the qdisc registry: only the plain
+    tail-drop FIFO and the infinite queue have the closed-form service the
+    fluid recurrence assumes.  Every AQM / fair-queueing / ECN-marking /
+    drop-policy discipline must stay packet-exact, so links carrying them
+    never build fluid state at all."""
+
+    FLUID_ELIGIBLE = ("droptail", "infinite")
+
+    def test_only_plain_fifos_are_fluid_eligible(self):
+        for name in qdisc_names():
+            queue = make_qdisc(name, 100_000.0)
+            assert queue.fluid_eligible == (name in self.FLUID_ELIGIBLE), name
+
+    def test_policy_and_ecn_variants_lose_eligibility(self):
+        assert not make_qdisc("droptail", 100_000.0,
+                              drop_policy="head").fluid_eligible
+        assert not make_qdisc("droptail", 100_000.0,
+                              drop_policy="random").fluid_eligible
+        assert not make_qdisc("droptail", 100_000.0,
+                              ecn_threshold_bytes=50_000.0).fluid_eligible
+
+    def test_aqm_links_never_build_fluid_state(self):
+        for name in qdisc_names():
+            sim = HybridSimulator(seed=11)
+            topo = single_bottleneck(
+                sim, bandwidth_bps=20e6, rtt=0.04, buffer_bytes=100_000.0,
+                queue_factory=lambda name=name: make_qdisc(name, 100_000.0))
+            has_fluid = topo.forward._fluid is not None
+            assert has_fluid == (name in self.FLUID_ELIGIBLE), name
+
+    def test_hybrid_on_aqm_link_matches_packet_exactly(self):
+        """The quiet-link scenario that *does* engage fluid mode under
+        drop-tail (see TestForcedFallbackEquivalence) must stay byte-for-byte
+        packet-exact once every link runs an AQM (both directions — a
+        tail-drop reverse link would legitimately go fluid)."""
+        from repro.netsim import LinkConfig, Path
+
+        def run(sim):
+            links = [
+                LinkConfig(bandwidth_bps=20e6, delay_s=0.02,
+                           queue_factory=lambda: make_qdisc(
+                               "codel", 100_000.0)).build(sim)
+                for _ in range(2)
+            ]
+            path = Path([links[0]], [links[1]])
+            result = run_flows(sim, [path], [FlowSpec(scheme="vegas")],
+                               duration=10.0)
+            return result.flow(0)
+
+        packet_sim = Simulator(seed=11)
+        packet_flow = run(packet_sim)
+        hybrid_sim = HybridSimulator(seed=11)
+        hybrid_flow = run(hybrid_sim)
+        assert hybrid_sim.events_processed == packet_sim.events_processed
+        assert (hybrid_flow.goodput_bps(10.0)
+                == packet_flow.goodput_bps(10.0))
+        assert hybrid_flow.mean_rtt == packet_flow.mean_rtt
+        assert hybrid_sim.rng.random() == packet_sim.rng.random()

@@ -162,3 +162,54 @@ class TestFairQueue:
             bytes_served[packet.flow_id] += packet.size_bytes
         # Byte service should be roughly equal (within one quantum).
         assert abs(bytes_served[1] - bytes_served[2]) <= 1500
+
+
+class TestFairQueueDropContract:
+    """Child disciplines own their drop accounting: every packet a child
+    rejects or AQM-drops must pass through the child's own ``_drop`` (whose
+    hook rolls the aggregate occupancy back exactly once).  A child that
+    rejects without invoking the hook is a contract violation the parent
+    surfaces loudly instead of double-counting silently."""
+
+    def test_well_behaved_child_reject_accounts_exactly_once(self):
+        queue = FairQueue(per_flow_capacity_bytes=3000)
+        drops = []
+        queue.on_drop = drops.append
+        assert queue.enqueue(make_packet(flow_id=1, packet_id=0), 0.0)
+        assert queue.enqueue(make_packet(flow_id=1, packet_id=1), 0.0)
+        # Third 1500-byte packet exceeds the per-flow capacity: the child
+        # drop-tail rejects it through its drop hook.
+        assert not queue.enqueue(make_packet(flow_id=1, packet_id=2), 0.0)
+        assert [p.packet_id for p in drops] == [2]
+        assert queue.stats.dropped == 1
+        assert queue.stats.enqueued == 2
+        assert queue.bytes_queued == 3000
+        assert queue.packets_queued == 2
+
+    def test_hookless_child_reject_raises(self):
+        class HookSwallowingQueue(DropTailQueue):
+            """Rejects without routing the packet through _drop."""
+
+            def enqueue(self, packet, now):
+                if self.bytes_queued + packet.size_bytes > self.capacity_bytes:
+                    return False  # silently, without self._drop(packet)
+                return super().enqueue(packet, now)
+
+        queue = FairQueue(
+            child_factory=lambda: HookSwallowingQueue(3000))
+        assert queue.enqueue(make_packet(flow_id=1, packet_id=0), 0.0)
+        assert queue.enqueue(make_packet(flow_id=1, packet_id=1), 0.0)
+        with pytest.raises(RuntimeError, match="without routing it through "
+                                               "its drop hook"):
+            queue.enqueue(make_packet(flow_id=1, packet_id=2), 0.0)
+
+    def test_attach_rng_reaches_existing_and_future_children(self):
+        import random
+
+        queue = FairQueue(per_flow_capacity_bytes=10_000)
+        assert queue.enqueue(make_packet(flow_id=1, packet_id=0), 0.0)
+        rng = random.Random(5)
+        queue.attach_rng(rng)
+        assert queue._flows[1].rng is rng
+        assert queue.enqueue(make_packet(flow_id=2, packet_id=1), 0.0)
+        assert queue._flows[2].rng is rng
